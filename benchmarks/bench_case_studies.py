@@ -1,0 +1,81 @@
+"""Case studies: Figures 4, 6, 8, 9 and Tables 7, 9, 10 (plus Spectre v1/v4).
+
+Each case study runs the corresponding directed litmus program with its pair
+of witness inputs and reports whether the relational check flags it, which
+trace components differ, and (for the figure-style cases) the first point at
+which the two executions' memory access streams diverge — the information
+the paper presents in its per-vulnerability walkthroughs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import attach_rows
+from repro.litmus import all_cases, get_case, run_case
+
+#: (paper artefact, litmus case, expected to be flagged on the original code)
+CASE_STUDIES = (
+    ("Section 4.2 (Spectre-v1)", "spectre_v1", True),
+    ("Section 4.2 (Spectre-v4, CT-COND)", "spectre_v4", True),
+    ("Figure 4 / Listing 1 (UV1)", "invisispec_eviction", True),
+    ("Figure 6 / Table 7 (UV2)", "invisispec_mshr_interference", True),
+    ("Listing 3 / Table 8 (UV3)", "cleanupspec_store", True),
+    ("Listing 4 (UV4)", "cleanupspec_split", True),
+    ("Table 9 (UV5)", "cleanupspec_too_much_cleaning", True),
+    ("Table 10 (KV2 / unXpec)", "cleanupspec_unxpec", True),
+    ("Figure 8 (UV6)", "speclfb_first_load", True),
+    ("Figure 9 (KV3)", "stt_store_tlb", True),
+)
+
+
+@pytest.mark.benchmark(group="case-studies")
+def test_case_studies_reproduce_every_reported_leak(benchmark):
+    def run_all():
+        rows = []
+        for reference, case_name, _ in CASE_STUDIES:
+            case = get_case(case_name)
+            outcome = run_case(case)
+            rows.append(
+                {
+                    "paper_reference": reference,
+                    "vulnerability": case.vulnerability,
+                    "defense": case.defense,
+                    "contract": case.contract,
+                    "violation": outcome.violation,
+                    "leaking_components": ", ".join(outcome.differing_components),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    attach_rows(benchmark, "Case studies (per-vulnerability walkthroughs)", rows)
+
+    for (reference, _, expected), row in zip(CASE_STUDIES, rows):
+        assert row["violation"] == expected, reference
+
+
+@pytest.mark.benchmark(group="case-studies")
+def test_case_studies_patched_outcomes(benchmark):
+    """The patched-variant column of the case studies (where applicable)."""
+
+    def run_all():
+        rows = []
+        for case in all_cases():
+            if case.expect_violation_patched is None:
+                continue
+            outcome = run_case(case, patched=True)
+            rows.append(
+                {
+                    "case": case.name,
+                    "vulnerability": case.vulnerability,
+                    "patched_violation": outcome.violation,
+                    "expected": case.expect_violation_patched,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    attach_rows(benchmark, "Case studies (patched variants)", rows)
+    for row in rows:
+        assert row["patched_violation"] == row["expected"], row["case"]

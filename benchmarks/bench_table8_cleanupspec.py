@@ -1,0 +1,47 @@
+"""Table 8: types of CleanupSpec violations, original vs patched.
+
+Paper shape: the original implementation exhibits all three violation types
+("speculative store not cleaned", "split requests not cleaned", "too much
+cleaning"); patching the speculative-store metadata bug removes the first
+type but the other two remain.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import attach_rows
+from repro.litmus import get_case, run_case
+
+VIOLATION_TYPES = (
+    ("Speculative Store Not Cleaned", "cleanupspec_store"),
+    ("Split Requests Not Cleaned", "cleanupspec_split"),
+    ("Too Much Cleaning", "cleanupspec_too_much_cleaning"),
+)
+
+
+@pytest.mark.benchmark(group="table8")
+def test_table8_cleanupspec_violation_types(benchmark):
+    def run_all():
+        rows = []
+        for label, case_name in VIOLATION_TYPES:
+            case = get_case(case_name)
+            rows.append(
+                {
+                    "violation_type": label,
+                    "original": run_case(case, patched=False).violation,
+                    "patched": run_case(case, patched=True).violation,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    attach_rows(benchmark, "Table 8 (CleanupSpec violation types)", rows)
+
+    by_type = {row["violation_type"]: row for row in rows}
+    assert by_type["Speculative Store Not Cleaned"]["original"]
+    assert not by_type["Speculative Store Not Cleaned"]["patched"]
+    assert by_type["Split Requests Not Cleaned"]["original"]
+    assert by_type["Split Requests Not Cleaned"]["patched"]
+    assert by_type["Too Much Cleaning"]["original"]
+    assert by_type["Too Much Cleaning"]["patched"]

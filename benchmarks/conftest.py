@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's evaluation,
+scaled down so the whole suite runs in minutes on a laptop rather than hours
+on a 128-core server.  Absolute numbers therefore differ from the paper; the
+*shape* of each result (who wins, what is detected, where the crossover is)
+is what EXPERIMENTS.md compares.
+
+Each benchmark prints its paper-style table and also attaches the rows to
+``benchmark.extra_info`` so they appear in ``--benchmark-json`` output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def attach_rows(benchmark, label: str, rows) -> None:
+    """Store result rows on the benchmark record and print them."""
+    from repro.reporting import format_table
+
+    benchmark.extra_info[label] = rows
+    print()
+    print(f"== {label} ==")
+    print(format_table(rows) if isinstance(rows, list) else rows)
+
+
+@pytest.fixture
+def campaign_scale():
+    """Scale factors shared by campaign-style benchmarks."""
+    return {"programs": 8, "inputs": 14, "instances": 1}

@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""Print the experiment registry: which bench regenerates which paper result.
+
+Run with:  python examples/experiment_index.py
+"""
+
+from __future__ import annotations
+
+from repro.reporting import EXPERIMENTS, format_table
+
+
+def main() -> None:
+    rows = [
+        {
+            "experiment": experiment.identifier,
+            "paper_artifact": experiment.title,
+            "bench_target": experiment.bench_target,
+        }
+        for experiment in EXPERIMENTS
+    ]
+    print(format_table(rows))
+    print()
+    print("run a single experiment with, e.g.:")
+    print("  pytest benchmarks/bench_table4_defenses.py --benchmark-only -s")
+
+
+if __name__ == "__main__":
+    main()

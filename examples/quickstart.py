@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: find Spectre leaks in the unprotected out-of-order CPU.
+
+This is the smallest end-to-end use of the library: configure a fuzzing
+instance against the insecure baseline CPU, run a short campaign, and inspect
+the first contract violation it finds (a Spectre-v1-style leak where a
+speculatively accessed address ends up in the cache even though the leakage
+contract says the two inputs should be indistinguishable).
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import AmuletFuzzer, FuzzerConfig, analyze_violation, unique_violations
+from repro.core.analysis import render_side_by_side
+from repro.executor.executor import SimulatorExecutor
+from repro.executor.traces import MEMORY_ACCESS_ORDER_TRACE
+
+
+def main() -> None:
+    config = FuzzerConfig(
+        defense="baseline",       # the unprotected O3 CPU
+        contract="CT-SEQ",        # expected leakage: addresses on architectural paths
+        programs_per_instance=25,
+        inputs_per_program=14,
+        seed=3,
+        stop_on_violation=True,
+    )
+    fuzzer = AmuletFuzzer(config)
+    report = fuzzer.run()
+
+    print(f"tested {report.programs_tested} programs "
+          f"({report.test_cases_executed} test cases) "
+          f"in {report.wall_clock_seconds:.1f}s "
+          f"({report.throughput():.0f} test cases/s)")
+
+    if not report.detected:
+        print("no violations found -- increase programs_per_instance or change the seed")
+        return
+
+    print(f"found {len(report.violations)} violation(s), "
+          f"{len(unique_violations(report.violations))} unique")
+    violation = report.violations[0]
+    print()
+    print("first violation:", violation.summary())
+    print("the two inputs differ micro-architecturally in:", violation.differing_components)
+    for component, payload in violation.trace_diff().items():
+        print(f"  {component}: only with input A {payload['only_in_first'][:4]} "
+              f"/ only with input B {payload['only_in_second'][:4]}")
+
+    print()
+    print("violating program:")
+    print(violation.program.to_asm())
+
+    # Root-cause aid: re-run the two inputs recording the full memory access
+    # order and show where the executions diverge (the leaking instruction).
+    executor = SimulatorExecutor(
+        "baseline", sandbox=fuzzer.sandbox, trace_config=MEMORY_ACCESS_ORDER_TRACE
+    )
+    analysis = analyze_violation(violation, executor=executor)
+    print()
+    print("root-cause analysis:", analysis.summary())
+    print(render_side_by_side(analysis, limit=20))
+
+
+if __name__ == "__main__":
+    main()

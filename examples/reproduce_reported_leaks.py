@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Reproduce every leak the paper reports, deterministically.
+
+Random fuzzing finds these leaks statistically; this example pins each one
+down with the directed litmus gadgets (the analogues of the paper's Figures
+4, 6, 8, 9 and Tables 7, 9, 10) and prints a summary table, including what
+happens after the paper's bug fixes are applied.
+
+Run with:  python examples/reproduce_reported_leaks.py
+"""
+
+from __future__ import annotations
+
+from repro.litmus import all_cases, run_case
+from repro.reporting import format_table
+
+
+def main() -> None:
+    rows = []
+    for case in all_cases():
+        original = run_case(case, patched=False)
+        row = {
+            "vulnerability": case.vulnerability,
+            "defense": case.defense,
+            "contract": case.contract,
+            "original": "VIOLATION" if original.violation else "clean",
+            "leaks_via": ", ".join(original.differing_components) or "-",
+        }
+        if case.expect_violation_patched is not None:
+            patched = run_case(case, patched=True)
+            row["patched"] = "VIOLATION" if patched.violation else "clean"
+        else:
+            row["patched"] = "n/a"
+        rows.append(row)
+
+    print(format_table(rows))
+    print()
+    print("UV2, UV4, UV5 and KV2 survive the patches: they are design-level")
+    print("weaknesses (or separate bugs), exactly as reported in the paper.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""AMuLeT reproduction: automated design-time testing of secure speculation
+countermeasures, re-implemented as a self-contained Python library.
+
+The public API mirrors the structure of the paper:
+
+* :mod:`repro.isa` / :mod:`repro.generator` -- test programs and inputs;
+* :mod:`repro.model` -- leakage contracts and the contract emulator;
+* :mod:`repro.uarch` -- the out-of-order simulator substrate;
+* :mod:`repro.defenses` -- baseline plus InvisiSpec, CleanupSpec, STT, SpecLFB;
+* :mod:`repro.executor` -- micro-architectural trace extraction (Naive/Opt);
+* :mod:`repro.core` -- the AMuLeT fuzzer, campaigns, analysis and filtering;
+* :mod:`repro.litmus` -- directed programs reproducing each reported leak;
+* :mod:`repro.reporting` -- paper-style tables and the experiment registry.
+
+Quick start::
+
+    from repro import FuzzerConfig, AmuletFuzzer
+
+    config = FuzzerConfig(defense="baseline", programs_per_instance=20)
+    report = AmuletFuzzer(config).run()
+    for violation in report.violations:
+        print(violation.summary())
+"""
+
+from repro.core import (
+    AmuletFuzzer,
+    Campaign,
+    CampaignResult,
+    FuzzerConfig,
+    FuzzerReport,
+    Violation,
+    analyze_violation,
+    amplification_ladder,
+    unique_violations,
+)
+from repro.defenses import available_defenses, create_defense
+from repro.executor import (
+    BASELINE_TRACE,
+    ExecutionMode,
+    SimulatorExecutor,
+    UarchTrace,
+    get_trace_config,
+)
+from repro.generator import GeneratorConfig, Input, InputGenerator, ProgramGenerator, Sandbox
+from repro.model import ARCH_SEQ, CT_COND, CT_SEQ, Contract, Emulator, get_contract
+from repro.uarch import O3Core, UarchConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AmuletFuzzer",
+    "Campaign",
+    "CampaignResult",
+    "FuzzerConfig",
+    "FuzzerReport",
+    "Violation",
+    "analyze_violation",
+    "amplification_ladder",
+    "unique_violations",
+    "available_defenses",
+    "create_defense",
+    "BASELINE_TRACE",
+    "ExecutionMode",
+    "SimulatorExecutor",
+    "UarchTrace",
+    "get_trace_config",
+    "GeneratorConfig",
+    "Input",
+    "InputGenerator",
+    "ProgramGenerator",
+    "Sandbox",
+    "ARCH_SEQ",
+    "CT_COND",
+    "CT_SEQ",
+    "Contract",
+    "Emulator",
+    "get_contract",
+    "O3Core",
+    "UarchConfig",
+    "__version__",
+]

@@ -1,0 +1,85 @@
+"""Command-line entry point: run a small AMuLeT campaign from the shell.
+
+Examples::
+
+    amulet-repro --defense baseline --programs 20 --inputs 14
+    amulet-repro --defense invisispec --instances 4 --stop-on-violation
+    amulet-repro --defense invisispec --patched --l1d-ways 2 --mshrs 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.campaign import Campaign
+from repro.core.config import FuzzerConfig
+from repro.core.filtering import unique_violations
+from repro.defenses.registry import available_defenses
+from repro.executor.executor import ExecutionMode
+from repro.executor.traces import get_trace_config
+from repro.uarch.config import UarchConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="amulet-repro",
+        description="Run an AMuLeT-style relational testing campaign on a simulated defense.",
+    )
+    parser.add_argument(
+        "--defense", choices=sorted(available_defenses()), default="baseline"
+    )
+    parser.add_argument("--patched", action="store_true", help="apply the paper's bug fixes")
+    parser.add_argument("--contract", default=None, help="override the leakage contract")
+    parser.add_argument("--programs", type=int, default=10, help="programs per instance")
+    parser.add_argument("--inputs", type=int, default=14, help="inputs per program")
+    parser.add_argument("--instances", type=int, default=1, help="parallel instances")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--mode", choices=[mode.value for mode in ExecutionMode], default="opt"
+    )
+    parser.add_argument("--trace", default="l1d+tlb", help="uarch trace format")
+    parser.add_argument("--l1d-ways", type=int, default=None, help="amplification: L1D ways")
+    parser.add_argument("--mshrs", type=int, default=None, help="amplification: MSHR count")
+    parser.add_argument("--stop-on-violation", action="store_true")
+    parser.add_argument("--parallel", action="store_true", help="run instances in processes")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    uarch_config = UarchConfig().with_amplification(
+        l1d_ways=args.l1d_ways, mshrs=args.mshrs
+    )
+    config = FuzzerConfig(
+        defense=args.defense,
+        patched=args.patched,
+        contract=args.contract,
+        programs_per_instance=args.programs,
+        inputs_per_program=args.inputs,
+        mode=ExecutionMode(args.mode),
+        trace_config=get_trace_config(args.trace),
+        uarch_config=uarch_config,
+        stop_on_violation=args.stop_on_violation,
+        seed=args.seed,
+    )
+    campaign = Campaign(config, instances=args.instances)
+    result = campaign.run(parallel=args.parallel)
+
+    row = result.as_table_row()
+    print("campaign summary")
+    for key, value in row.items():
+        print(f"  {key:>24}: {value}")
+    groups = unique_violations(result.violations)
+    if groups:
+        print(f"unique violations: {len(groups)}")
+        for signature, members in groups.items():
+            print(f"  x{len(members):<3} {members[0].summary()}")
+    else:
+        print("no violations detected")
+    return 0 if not result.detected else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Leakage amplification: shrinking micro-architectural structures.
+
+Observing a speculative leak needs contention on the covert channel's
+resource.  Short random tests rarely create that contention with full-size
+structures, so AMuLeT amplifies it by testing *valid but smaller*
+configurations — fewer L1D ways and fewer MSHRs (paper Section 3.4 and
+Table 6).  The defense itself is never modified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.uarch.config import UarchConfig
+
+
+@dataclass(frozen=True)
+class AmplificationLevel:
+    """One amplified configuration (a row of Table 6)."""
+
+    name: str
+    l1d_ways: Optional[int] = None
+    mshrs: Optional[int] = None
+
+    def apply(self, base: Optional[UarchConfig] = None) -> UarchConfig:
+        config = base or UarchConfig()
+        return config.with_amplification(l1d_ways=self.l1d_ways, mshrs=self.mshrs)
+
+    def describe(self, base: Optional[UarchConfig] = None) -> str:
+        config = base or UarchConfig()
+        ways = self.l1d_ways if self.l1d_ways is not None else config.l1d.ways
+        mshrs = self.mshrs if self.mshrs is not None else config.num_mshrs
+        return f"{ways}-way L1D, {mshrs} MSHRs"
+
+
+#: The amplification ladder used for InvisiSpec (Patched) in Table 6.
+DEFAULT_LADDER: Tuple[AmplificationLevel, ...] = (
+    AmplificationLevel(name="default"),
+    AmplificationLevel(name="2-way L1D", l1d_ways=2),
+    AmplificationLevel(name="2-way L1D + 2 MSHRs", l1d_ways=2, mshrs=2),
+)
+
+
+def amplification_ladder() -> Tuple[AmplificationLevel, ...]:
+    """The sequence of increasingly amplified configurations from the paper."""
+    return DEFAULT_LADDER

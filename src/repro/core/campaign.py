@@ -1,0 +1,139 @@
+"""Campaign orchestration: many parallel fuzzing instances, one report.
+
+The paper's campaigns run up to 100 parallel AMuLeT instances, each with its
+own seed, and report per-campaign metrics: whether a violation was detected,
+the average detection time, the number of unique violations, the testing
+throughput, and the campaign execution time (Tables 3, 4 and 6).  The
+:class:`Campaign` class reproduces that orchestration; instances can run
+sequentially (deterministic, the default) or across processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import FuzzerConfig
+from repro.core.filtering import unique_violations
+from repro.core.fuzzer import AmuletFuzzer, FuzzerReport
+from repro.core.violation import Violation
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated metrics across all instances of a campaign."""
+
+    defense: str
+    contract: str
+    instances: int
+    reports: List[FuzzerReport] = field(default_factory=list)
+    wall_clock_seconds: float = 0.0
+
+    # -- derived metrics --------------------------------------------------------
+    @property
+    def violations(self) -> List[Violation]:
+        result: List[Violation] = []
+        for report in self.reports:
+            result.extend(report.violations)
+        return result
+
+    @property
+    def detected(self) -> bool:
+        return any(report.detected for report in self.reports)
+
+    @property
+    def total_test_cases(self) -> int:
+        return sum(report.test_cases_executed for report in self.reports)
+
+    def violation_count(self) -> int:
+        return len(self.violations)
+
+    def unique_violation_count(self) -> int:
+        return len(unique_violations(self.violations))
+
+    def average_detection_seconds(self, modeled: bool = False) -> Optional[float]:
+        """Average time-to-first-violation across detecting instances."""
+        times = []
+        for report in self.reports:
+            value = (
+                report.first_detection_modeled
+                if modeled
+                else report.first_detection_wall_clock
+            )
+            if value is not None:
+                times.append(value)
+        if not times:
+            return None
+        return sum(times) / len(times)
+
+    def throughput(self) -> float:
+        """Test cases per wall-clock second, summed over instances."""
+        if self.wall_clock_seconds <= 0:
+            return 0.0
+        return self.total_test_cases / self.wall_clock_seconds
+
+    def modeled_seconds(self) -> float:
+        return sum(report.modeled_seconds for report in self.reports)
+
+    def modeled_throughput(self) -> float:
+        modeled = self.modeled_seconds()
+        if modeled <= 0:
+            return 0.0
+        return self.total_test_cases / modeled
+
+    def as_table_row(self) -> Dict[str, object]:
+        """The Table-4 style summary row for this campaign."""
+        detection = self.average_detection_seconds()
+        return {
+            "defense": self.defense,
+            "contract": self.contract,
+            "detected": self.detected,
+            "avg_detection_seconds": detection,
+            "unique_violations": self.unique_violation_count(),
+            "violations": self.violation_count(),
+            "test_cases": self.total_test_cases,
+            "throughput_per_second": round(self.throughput(), 1),
+            "campaign_seconds": round(self.wall_clock_seconds, 2),
+        }
+
+
+def _run_instance(config: FuzzerConfig) -> FuzzerReport:
+    return AmuletFuzzer(config).run()
+
+
+class Campaign:
+    """Runs ``instances`` independent fuzzing instances with derived seeds."""
+
+    def __init__(self, config: FuzzerConfig, instances: int = 1) -> None:
+        if instances < 1:
+            raise ValueError("a campaign needs at least one instance")
+        self.config = config
+        self.instances = instances
+
+    def instance_config(self, index: int) -> FuzzerConfig:
+        """Configuration for the ``index``-th instance (distinct seed)."""
+        return dataclasses.replace(self.config, seed=self.config.seed + 1000 * (index + 1))
+
+    def run(self, parallel: bool = False) -> CampaignResult:
+        """Execute the campaign; ``parallel=True`` uses a process pool."""
+        started = time.perf_counter()
+        configs = [self.instance_config(index) for index in range(self.instances)]
+        if parallel and self.instances > 1:
+            import multiprocessing
+
+            with multiprocessing.Pool(processes=min(self.instances, 8)) as pool:
+                reports = pool.map(_run_instance, configs)
+        else:
+            reports = [_run_instance(config) for config in configs]
+
+        fuzzer_probe = AmuletFuzzer(configs[0])
+        result = CampaignResult(
+            defense=self.config.defense,
+            contract=fuzzer_probe.contract_name,
+            instances=self.instances,
+            reports=list(reports),
+            wall_clock_seconds=time.perf_counter() - started,
+        )
+        return result

@@ -1,0 +1,69 @@
+"""Configuration of a fuzzing instance / campaign."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.executor.executor import ExecutionMode, PrimeStrategy
+from repro.executor.traces import BASELINE_TRACE, TraceConfig
+from repro.generator.config import GeneratorConfig
+from repro.uarch.config import UarchConfig
+
+
+@dataclass
+class FuzzerConfig:
+    """Everything one AMuLeT instance needs to run a testing campaign.
+
+    The paper's full-scale campaigns use 100 parallel instances, each running
+    200 programs with 140 inputs per program.  The defaults here are small so
+    tests and benchmarks finish quickly; the benchmark harness scales them up
+    per experiment.
+    """
+
+    #: Which target to test ("baseline", "invisispec", "cleanupspec", "stt",
+    #: "speclfb").
+    defense: str = "baseline"
+    #: Apply the paper's implementation-bug patches to the defense.
+    patched: bool = False
+    #: Leakage contract to test against (defaults to the defense's
+    #: recommendation when None).
+    contract: Optional[str] = None
+    #: Number of test programs per instance.
+    programs_per_instance: int = 10
+    #: Total inputs per program (base inputs plus boosted variants).
+    inputs_per_program: int = 14
+    #: Contract-preserving variants derived from each base input.
+    boost_factor: int = 6
+    #: Sandbox size in 4 KiB pages (defaults to the defense's recommendation).
+    sandbox_pages: Optional[int] = None
+    #: Executor mode (Opt amortises simulator start-up across inputs).
+    mode: ExecutionMode = ExecutionMode.OPT
+    #: Cache priming strategy (defaults to the defense's recommendation).
+    prime_strategy: Optional[PrimeStrategy] = None
+    #: Micro-architectural trace format.
+    trace_config: TraceConfig = BASELINE_TRACE
+    #: Simulated core configuration (use ``UarchConfig.with_amplification``
+    #: for the reduced-structure amplified configurations of Table 6).
+    uarch_config: UarchConfig = field(default_factory=UarchConfig)
+    #: Program generator settings (sandbox is overridden to match
+    #: ``sandbox_pages``).
+    generator_config: Optional[GeneratorConfig] = None
+    #: Validate detected violations by re-running both inputs from the same
+    #: initial micro-architectural context.
+    validate_violations: bool = True
+    #: Analyze violations immediately (compute signatures for deduplication).
+    analyze_violations: bool = True
+    #: Stop the instance at the first confirmed violation.
+    stop_on_violation: bool = False
+    #: Seed of this instance (campaigns derive one seed per instance).
+    seed: int = 0
+
+    @property
+    def base_inputs_per_program(self) -> int:
+        """Number of independently generated base inputs per program."""
+        return max(1, self.inputs_per_program // (1 + self.boost_factor))
+
+    def effective_inputs_per_program(self) -> int:
+        """Actual number of test cases per program after boosting."""
+        return self.base_inputs_per_program * (1 + self.boost_factor)

@@ -1,0 +1,55 @@
+"""Identifying unique violations and filtering out duplicates.
+
+After a violation is root-caused the paper avoids rediscovering it by either
+patching the bug, switching to a contract that sanctions the leak, or
+filtering violations whose debug-log signature matches a known one.  The
+:class:`ViolationFilter` implements the signature-based path: known
+signatures are suppressed and only violations with new signatures surface.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.analysis import compute_signature
+from repro.core.violation import Violation
+
+
+class ViolationFilter:
+    """Stateful filter that suppresses violations with known signatures."""
+
+    def __init__(self, known_signatures: Optional[Iterable[Tuple]] = None) -> None:
+        self.known_signatures: Set[Tuple] = set(known_signatures or ())
+        self.suppressed = 0
+
+    def is_new(self, violation: Violation) -> bool:
+        signature = violation.signature or compute_signature(violation)
+        violation.signature = signature
+        if signature in self.known_signatures:
+            self.suppressed += 1
+            return False
+        return True
+
+    def mark_known(self, violation: Violation) -> None:
+        signature = violation.signature or compute_signature(violation)
+        self.known_signatures.add(signature)
+
+    def filter(self, violations: Iterable[Violation]) -> List[Violation]:
+        """Return only violations whose signature has not been seen before,
+        marking each newly surfaced signature as known."""
+        fresh: List[Violation] = []
+        for violation in violations:
+            if self.is_new(violation):
+                fresh.append(violation)
+                self.mark_known(violation)
+        return fresh
+
+
+def unique_violations(violations: Iterable[Violation]) -> Dict[Tuple, List[Violation]]:
+    """Group violations by signature (the paper's "unique violations" count)."""
+    groups: Dict[Tuple, List[Violation]] = {}
+    for violation in violations:
+        signature = violation.signature or compute_signature(violation)
+        violation.signature = signature
+        groups.setdefault(signature, []).append(violation)
+    return groups

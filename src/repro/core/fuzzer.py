@@ -1,0 +1,233 @@
+"""The AMuLeT fuzzing loop (one instance).
+
+Each round the fuzzer generates a random program, derives a set of inputs —
+base inputs plus contract-preserving boosted variants — collects contract
+traces from the leakage model and micro-architectural traces from the
+simulator executor, and checks Definition 2.1.  Detected violations are
+optionally validated (re-run from a matched micro-architectural context, to
+rule out differences caused by AMuLeT-Opt carrying predictor state between
+inputs) and analysed for a deduplication signature.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.analysis import compute_signature
+from repro.core.config import FuzzerConfig
+from repro.core.detector import ViolationDetector
+from repro.core.testcase import TestCase
+from repro.core.violation import Violation
+from repro.defenses.registry import create_defense, defense_class
+from repro.executor.executor import ExecutionMode, SimulatorExecutor
+from repro.executor.startup import CONTRACT_TRACES, OTHERS, TEST_GENERATION
+from repro.generator.config import GeneratorConfig
+from repro.generator.inputs import InputGenerator
+from repro.generator.program_generator import ProgramGenerator
+from repro.generator.sandbox import Sandbox
+from repro.model.contracts import get_contract
+from repro.model.emulator import Emulator
+
+
+@dataclass
+class RoundResult:
+    """Outcome of testing one program."""
+
+    program_index: int
+    test_cases: int
+    violations: List[Violation] = field(default_factory=list)
+
+
+@dataclass
+class FuzzerReport:
+    """Summary of one fuzzing instance."""
+
+    defense: str
+    contract: str
+    programs_tested: int = 0
+    test_cases_executed: int = 0
+    violations: List[Violation] = field(default_factory=list)
+    wall_clock_seconds: float = 0.0
+    modeled_seconds: float = 0.0
+    first_detection_wall_clock: Optional[float] = None
+    first_detection_modeled: Optional[float] = None
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.violations)
+
+    def throughput(self) -> float:
+        """Test cases per wall-clock second of this implementation."""
+        if self.wall_clock_seconds <= 0:
+            return 0.0
+        return self.test_cases_executed / self.wall_clock_seconds
+
+    def modeled_throughput(self) -> float:
+        """Test cases per modeled (gem5-equivalent) second."""
+        if self.modeled_seconds <= 0:
+            return 0.0
+        return self.test_cases_executed / self.modeled_seconds
+
+
+class AmuletFuzzer:
+    """One AMuLeT instance: generator + leakage model + executor + detector."""
+
+    def __init__(self, config: FuzzerConfig) -> None:
+        self.config = config
+        defense_type = defense_class(config.defense)
+        self.contract_name = config.contract or defense_type.recommended_contract
+        self.contract = get_contract(self.contract_name)
+        sandbox_pages = (
+            config.sandbox_pages
+            if config.sandbox_pages is not None
+            else defense_type.recommended_sandbox_pages
+        )
+        self.sandbox = Sandbox(pages=sandbox_pages)
+
+        generator_config = config.generator_config or GeneratorConfig()
+        generator_config.sandbox = self.sandbox
+        self.program_generator = ProgramGenerator(generator_config, seed=config.seed)
+        self.input_generator = InputGenerator(self.sandbox, seed=config.seed)
+
+        self.executor = SimulatorExecutor(
+            defense_factory=lambda: create_defense(config.defense, patched=config.patched),
+            uarch_config=config.uarch_config,
+            sandbox=self.sandbox,
+            trace_config=config.trace_config,
+            mode=config.mode,
+            prime_strategy=config.prime_strategy,
+        )
+        self.detector = ViolationDetector(config.defense, self.contract_name)
+
+        self._start_time: Optional[float] = None
+        self.report = FuzzerReport(defense=config.defense, contract=self.contract_name)
+
+    # -- single round -------------------------------------------------------------
+    def run_round(self, program_index: int = 0) -> RoundResult:
+        """Generate and test one program; return any (validated) violations."""
+        if self._start_time is None:
+            self._start_time = time.perf_counter()
+        config = self.config
+
+        generation_started = time.perf_counter()
+        program = self.program_generator.generate()
+        self.executor.time.charge_test_generation()
+        self.executor.time.add_wall_clock(
+            TEST_GENERATION, time.perf_counter() - generation_started
+        )
+
+        test_case = self._build_test_case(program)
+        self.executor.load_program(program)
+        for entry in test_case.entries:
+            entry.record = self.executor.run_input(entry.test_input)
+        self.executor.time.charge_other()
+
+        violations = self.detector.detect(test_case)
+        confirmed: List[Violation] = []
+        for violation in violations:
+            if config.validate_violations and not self._validate(violation):
+                violation.validated = False
+                continue
+            violation.validated = True if config.validate_violations else None
+            self._annotate_detection(violation, program_index, len(test_case))
+            if config.analyze_violations:
+                violation.signature = compute_signature(violation)
+            confirmed.append(violation)
+
+        self.report.programs_tested += 1
+        self.report.test_cases_executed += len(test_case)
+        self.report.violations.extend(confirmed)
+        self._refresh_report_times()
+        if confirmed and self.report.first_detection_wall_clock is None:
+            self.report.first_detection_wall_clock = self.report.wall_clock_seconds
+            self.report.first_detection_modeled = self.report.modeled_seconds
+        return RoundResult(
+            program_index=program_index,
+            test_cases=len(test_case),
+            violations=confirmed,
+        )
+
+    # -- full instance ----------------------------------------------------------------
+    def run(self, programs: Optional[int] = None) -> FuzzerReport:
+        """Run the configured number of programs (an entire instance)."""
+        self._start_time = time.perf_counter()
+        total_programs = programs if programs is not None else self.config.programs_per_instance
+        for program_index in range(total_programs):
+            result = self.run_round(program_index)
+            if result.violations and self.config.stop_on_violation:
+                break
+        self._refresh_report_times()
+        return self.report
+
+    # -- internals ----------------------------------------------------------------------
+    def _build_test_case(self, program) -> TestCase:
+        """Collect contract traces and boosted inputs for one program."""
+        config = self.config
+        emulator = Emulator(program, self.sandbox)
+        test_case = TestCase(program=program)
+        contract_started = time.perf_counter()
+        for base_index in range(config.base_inputs_per_program):
+            base_input = self.input_generator.generate_one()
+            model_result = emulator.run(base_input, self.contract)
+            base_entry = test_case.add(base_input, model_result.trace)
+            variants = self.input_generator.mutate_preserving(
+                base_input,
+                model_result.relevant_labels,
+                count=config.boost_factor,
+                salt=base_index,
+            )
+            for variant in variants:
+                variant_trace = emulator.contract_trace(variant, self.contract)
+                test_case.add(variant, variant_trace, boosted_from=base_entry.index)
+        self.executor.time.charge_contract_traces(len(test_case))
+        self.executor.time.add_wall_clock(
+            CONTRACT_TRACES, time.perf_counter() - contract_started
+        )
+        return test_case
+
+    def _validate(self, violation: Violation) -> bool:
+        """Re-run the violating pair from shared micro-architectural contexts.
+
+        AMuLeT-Opt deliberately carries predictor state between inputs, so a
+        trace difference can be an artefact of different starting contexts
+        rather than of the inputs.  Following the paper, the violating pair
+        is re-run from each witness's starting context in turn; the violation
+        is kept only if the traces still differ under at least one *shared*
+        context.
+        """
+        contexts = [
+            context
+            for context in (violation.uarch_context, violation.uarch_context_b)
+            if context is not None
+        ]
+        if not contexts:
+            return True
+        for context in contexts:
+            trace_a, trace_b = self.executor.run_pair_with_shared_context(
+                violation.input_a, violation.input_b, context
+            )
+            if trace_a != trace_b:
+                # Keep the freshly collected traces: they were observed under
+                # a controlled context and are what analysis should look at.
+                violation.trace_a = trace_a
+                violation.trace_b = trace_b
+                violation.differing_components = trace_a.differing_components(trace_b)
+                violation.uarch_context = context
+                return True
+        return False
+
+    def _annotate_detection(
+        self, violation: Violation, program_index: int, test_cases: int
+    ) -> None:
+        self._refresh_report_times()
+        violation.detection_wall_clock_seconds = self.report.wall_clock_seconds
+        violation.detection_modeled_seconds = self.report.modeled_seconds
+        violation.detected_at_program = program_index
+        violation.detected_at_test_case = self.report.test_cases_executed + test_cases
+
+    def _refresh_report_times(self) -> None:
+        if self._start_time is not None:
+            self.report.wall_clock_seconds = time.perf_counter() - self._start_time
+        self.report.modeled_seconds = self.executor.time.total_modeled()

@@ -1,0 +1,83 @@
+"""Test-case minimization: shrink a violating program for root-cause analysis.
+
+The paper's root-cause workflow is manual; in practice (and in Revizor) the
+first step is always to shrink the witness program.  ``minimize_program``
+repeatedly removes instructions from the program and keeps the removal if
+the violation (same input pair, same contract) still reproduces, yielding a
+minimal gadget like the snippets shown in Figures 4, 6, 8 and 9.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, List, Optional
+
+from repro.core.violation import Violation
+from repro.executor.executor import SimulatorExecutor
+from repro.isa.program import BasicBlock, Program
+from repro.model.contracts import get_contract
+from repro.model.emulator import Emulator
+
+
+def _rebuild_without(program: Program, skip_uid: int) -> Optional[Program]:
+    """Build a copy of ``program`` with one instruction removed."""
+    new_blocks: List[BasicBlock] = []
+    removed = False
+    for block in program.blocks:
+        kept = []
+        for instruction in block.instructions:
+            if instruction.uid == skip_uid:
+                removed = True
+                continue
+            kept.append(copy.copy(instruction))
+        terminator = copy.copy(block.terminator) if block.terminator is not None else None
+        new_blocks.append(BasicBlock(block.name, kept, terminator))
+    if not removed:
+        return None
+    try:
+        return Program(new_blocks, code_base=program.code_base, name=program.name + "_min")
+    except (ValueError, TypeError):
+        return None
+
+
+def violation_reproduces(
+    program: Program,
+    violation: Violation,
+    executor_factory: Callable[[], SimulatorExecutor],
+) -> bool:
+    """Check Definition 2.1 for the violation's input pair on ``program``."""
+    emulator = Emulator(program, executor_factory().sandbox)
+    contract = get_contract(violation.contract)
+    trace_a = emulator.contract_trace(violation.input_a, contract)
+    trace_b = emulator.contract_trace(violation.input_b, contract)
+    if trace_a != trace_b:
+        return False
+    executor = executor_factory()
+    executor.load_program(program)
+    context = violation.uarch_context
+    record_a = executor.run_input(violation.input_a, uarch_context=context)
+    record_b = executor.run_input(violation.input_b, uarch_context=context)
+    return record_a.trace != record_b.trace
+
+
+def minimize_program(
+    violation: Violation,
+    executor_factory: Callable[[], SimulatorExecutor],
+    max_passes: int = 3,
+) -> Program:
+    """Greedily remove instructions while the violation keeps reproducing."""
+    current = violation.program
+    for _ in range(max_passes):
+        removed_any = False
+        for instruction in list(current.linear_instructions()):
+            if instruction.is_branch or instruction.is_exit:
+                continue
+            candidate = _rebuild_without(current, instruction.uid)
+            if candidate is None:
+                continue
+            if violation_reproduces(candidate, violation, executor_factory):
+                current = candidate
+                removed_any = True
+        if not removed_any:
+            break
+    return current

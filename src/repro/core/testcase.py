@@ -1,0 +1,59 @@
+"""Test-case bookkeeping: a program plus the inputs it is tested with."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.executor.executor import ExecutionRecord
+from repro.generator.inputs import Input
+from repro.isa.program import Program
+from repro.model.emulator import ContractTrace
+
+
+@dataclass
+class TestCaseEntry:
+    """One (input, contract trace, micro-architectural trace) triple."""
+
+    index: int
+    test_input: Input
+    contract_trace: ContractTrace
+    record: Optional[ExecutionRecord] = None
+    boosted_from: Optional[int] = None
+
+    @property
+    def uarch_trace(self):
+        return self.record.trace if self.record is not None else None
+
+
+@dataclass
+class TestCase:
+    """A program together with all the inputs it was exercised with."""
+
+    program: Program
+    entries: List[TestCaseEntry] = field(default_factory=list)
+
+    def add(
+        self,
+        test_input: Input,
+        contract_trace: ContractTrace,
+        boosted_from: Optional[int] = None,
+    ) -> TestCaseEntry:
+        entry = TestCaseEntry(
+            index=len(self.entries),
+            test_input=test_input,
+            contract_trace=contract_trace,
+            boosted_from=boosted_from,
+        )
+        self.entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def contract_classes(self) -> Dict[ContractTrace, List[TestCaseEntry]]:
+        """Group entries into contract-equivalence classes."""
+        classes: Dict[ContractTrace, List[TestCaseEntry]] = {}
+        for entry in self.entries:
+            classes.setdefault(entry.contract_trace, []).append(entry)
+        return classes

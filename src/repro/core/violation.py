@@ -1,0 +1,71 @@
+"""Contract violations (Definition 2.1 of the paper).
+
+A violation is a program, two inputs with *equal contract traces* but
+*different micro-architectural traces*, and the evidence needed to analyse
+it: both traces, their diff, the micro-architectural context the executor
+started from, and (once analysed) a signature used to deduplicate similar
+violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.executor.traces import UarchTrace
+from repro.generator.inputs import Input
+from repro.isa.program import Program
+from repro.model.emulator import ContractTrace
+
+
+@dataclass
+class Violation:
+    """Evidence of an unexpected leak found by relational testing."""
+
+    program: Program
+    defense: str
+    contract: str
+    input_a: Input
+    input_b: Input
+    trace_a: UarchTrace
+    trace_b: UarchTrace
+    contract_trace: ContractTrace
+    #: All inputs of the contract-equivalence class that disagreed.
+    violating_input_count: int = 2
+    #: Names of the trace components that differ (l1d, dtlb, l1i, ...).
+    differing_components: Tuple[str, ...] = ()
+    #: Micro-architectural context input_a started from (for validation).
+    uarch_context: Optional[dict] = None
+    #: Micro-architectural context input_b started from.  Validation re-runs
+    #: the pair from each witness's context in turn (the paper re-runs the
+    #: violating inputs with the *other* input's starting context).
+    uarch_context_b: Optional[dict] = None
+    #: Set by the validation step: does the difference persist when both
+    #: inputs start from the same context?
+    validated: Optional[bool] = None
+    #: Wall-clock seconds from the start of the instance until detection.
+    detection_wall_clock_seconds: float = 0.0
+    #: Modeled (gem5-equivalent) seconds until detection.
+    detection_modeled_seconds: float = 0.0
+    #: Index of the test case (within the instance) that triggered detection.
+    detected_at_test_case: int = 0
+    #: Program index within the instance.
+    detected_at_program: int = 0
+    #: Filled in by analysis: a stable identifier for "the same kind of leak".
+    signature: Optional[Tuple] = None
+    #: Optional analysis annotations (root-cause hints, leaking PCs, ...).
+    notes: Dict[str, object] = field(default_factory=dict)
+
+    def trace_diff(self) -> Dict[str, Dict[str, Tuple]]:
+        return self.trace_a.diff(self.trace_b)
+
+    def summary(self) -> str:
+        components = ", ".join(self.differing_components) or "none"
+        status = {True: "validated", False: "rejected", None: "unvalidated"}[self.validated]
+        return (
+            f"Violation[{self.defense}/{self.contract}] program={self.program.name} "
+            f"components={components} inputs={self.violating_input_count} ({status})"
+        )
+
+    def __str__(self) -> str:
+        return self.summary()

@@ -1,0 +1,34 @@
+"""Secure speculation countermeasures layered on the out-of-order core.
+
+Each defense is a :class:`~repro.defenses.base.Defense` subclass that drives
+the memory hierarchy on behalf of the core's loads and stores.  The four
+countermeasures the paper tests are re-implemented here **including the
+implementation bugs and design weaknesses the paper discovered** (UV1-UV6,
+KV1-KV3); every bug is controlled by a flag on the defense's ``bugs``
+configuration object, so both the original (buggy) artifact and the patched
+variant the paper evaluates can be instantiated.
+"""
+
+from repro.defenses.base import Defense, DefenseBugs
+from repro.defenses.baseline import BaselineDefense
+from repro.defenses.invisispec import InvisiSpecBugs, InvisiSpecDefense
+from repro.defenses.cleanupspec import CleanupSpecBugs, CleanupSpecDefense
+from repro.defenses.stt import STTBugs, STTDefense
+from repro.defenses.speclfb import SpecLFBBugs, SpecLFBDefense
+from repro.defenses.registry import available_defenses, create_defense
+
+__all__ = [
+    "Defense",
+    "DefenseBugs",
+    "BaselineDefense",
+    "InvisiSpecBugs",
+    "InvisiSpecDefense",
+    "CleanupSpecBugs",
+    "CleanupSpecDefense",
+    "STTBugs",
+    "STTDefense",
+    "SpecLFBBugs",
+    "SpecLFBDefense",
+    "available_defenses",
+    "create_defense",
+]

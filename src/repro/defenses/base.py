@@ -1,0 +1,153 @@
+"""The defense interface the out-of-order core delegates its memory path to.
+
+The core never touches the data cache directly for loads and stores; it asks
+the attached defense to perform the access.  A defense receives the in-flight
+instruction (with its resolved address, split-line information and current
+speculation status) and decides how the access interacts with the hierarchy:
+whether lines are installed, whether the access is delayed until it becomes
+safe, what happens on a squash, and so on.  This mirrors how the paper treats
+each gem5 defense implementation as the executor for its campaign.
+
+Return-value convention for the execute hooks: an ``int`` is the access
+latency in cycles; ``None`` means the access could not proceed this cycle
+(structural hazard or deliberate delay) and the core will retry it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.uarch.core import InFlightInstruction, O3Core
+
+
+@dataclass
+class DefenseBugs:
+    """Base class for per-defense bug-flag containers.
+
+    Subclasses add one boolean per implementation bug the paper found.  A
+    "patched" defense variant is simply the defense constructed with the
+    corresponding flag turned off.
+    """
+
+    def enabled_bugs(self) -> Dict[str, bool]:
+        return {
+            name: bool(value)
+            for name, value in vars(self).items()
+            if isinstance(value, bool)
+        }
+
+
+class Defense:
+    """Base class for all countermeasures (and the insecure baseline)."""
+
+    #: Short identifier used by the registry, reports and benchmarks.
+    name = "base"
+    #: The leakage contract the defense claims to satisfy (paper Section 3.1).
+    recommended_contract = "CT-SEQ"
+    #: Sandbox pages the paper uses when testing this defense.
+    recommended_sandbox_pages = 1
+
+    def __init__(self, bugs: Optional[DefenseBugs] = None) -> None:
+        self.bugs = bugs
+        self.core: Optional["O3Core"] = None
+
+    # -- lifecycle ------------------------------------------------------------
+    def attach(self, core: "O3Core") -> None:
+        """Bind the defense to a core (called by the core constructor)."""
+        self.core = core
+
+    @property
+    def memory(self):
+        return self.core.memory
+
+    @property
+    def config(self):
+        return self.core.config
+
+    def reset_for_run(self) -> None:
+        """Clear per-test-case state (speculative buffers, queues, ...)."""
+
+    def tick(self, cycle: int) -> None:
+        """Called once per simulated cycle (used e.g. for expose queues)."""
+
+    def drain_complete(self) -> bool:
+        """True when the defense has no pending work left at end of test."""
+        return True
+
+    # -- memory path hooks --------------------------------------------------------
+    def load_execute(self, entry: "InFlightInstruction", cycle: int) -> Optional[int]:
+        """Perform the cache/TLB interaction of a load; return its latency."""
+        raise NotImplementedError
+
+    def store_execute(self, entry: "InFlightInstruction", cycle: int) -> Optional[int]:
+        """Perform the execute-time interaction of a store (e.g. TLB fill)."""
+        raise NotImplementedError
+
+    def commit_store(self, entry: "InFlightInstruction", cycle: int) -> None:
+        """Perform the commit-time (senior) store's cache interaction."""
+        raise NotImplementedError
+
+    # -- event hooks ------------------------------------------------------------------
+    def on_entry_safe(self, entry: "InFlightInstruction", cycle: int) -> None:
+        """The entry can no longer be squashed by older instructions."""
+
+    def on_squash(self, entry: "InFlightInstruction", cycle: int) -> None:
+        """The entry was squashed after (possibly) touching the hierarchy."""
+
+    def on_commit(self, entry: "InFlightInstruction", cycle: int) -> None:
+        """The entry committed architecturally."""
+
+    # -- shared helpers -----------------------------------------------------------------
+    def access_lines(
+        self,
+        entry: "InFlightInstruction",
+        cycle: int,
+        *,
+        install_l1: bool = True,
+        install_l2: bool = True,
+        update_replacement: bool = True,
+        require_mshr_on_miss: bool = True,
+        kind: str = "load",
+        record_key: str = "lines_accessed",
+    ) -> Optional[int]:
+        """Access every cache line of ``entry``, tolerating per-line retries.
+
+        Lines already accessed in a previous attempt (recorded under
+        ``record_key`` in the entry's defense annotations) are skipped so a
+        retry caused by MSHR exhaustion does not double-count footprint.
+        Returns the accumulated latency, or ``None`` if a line still cannot
+        proceed.
+        """
+        done = entry.defense_data.setdefault(record_key, {})
+        total_latency = 0
+        for line in entry.line_addresses:
+            if line in done:
+                total_latency = max(total_latency, done[line])
+                continue
+            result = self.memory.data_access(
+                line,
+                cycle,
+                entry.pc,
+                install_l1=install_l1,
+                install_l2=install_l2,
+                update_replacement=update_replacement,
+                require_mshr_on_miss=require_mshr_on_miss,
+                kind=kind,
+            )
+            if result is None:
+                return None
+            done[line] = result.latency
+            entry.defense_data.setdefault("access_results", {})[line] = result
+            total_latency = max(total_latency, result.latency)
+        return total_latency
+
+    def describe(self) -> Dict[str, object]:
+        """Metadata used in reports and experiment logs."""
+        return {
+            "name": self.name,
+            "contract": self.recommended_contract,
+            "sandbox_pages": self.recommended_sandbox_pages,
+            "bugs": self.bugs.enabled_bugs() if self.bugs is not None else {},
+        }

@@ -1,0 +1,62 @@
+"""Registry of testable targets (baseline plus the four countermeasures)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Type
+
+from repro.defenses.base import Defense
+from repro.defenses.baseline import BaselineDefense
+from repro.defenses.cleanupspec import CleanupSpecBugs, CleanupSpecDefense
+from repro.defenses.invisispec import InvisiSpecBugs, InvisiSpecDefense
+from repro.defenses.speclfb import SpecLFBBugs, SpecLFBDefense
+from repro.defenses.stt import STTBugs, STTDefense
+
+_DEFENSES: Dict[str, Type[Defense]] = {
+    "baseline": BaselineDefense,
+    "invisispec": InvisiSpecDefense,
+    "cleanupspec": CleanupSpecDefense,
+    "stt": STTDefense,
+    "speclfb": SpecLFBDefense,
+}
+
+_PATCHED_BUGS = {
+    "invisispec": lambda: InvisiSpecBugs(speculative_eviction=False),
+    "cleanupspec": lambda: CleanupSpecBugs(store_not_cleaned=False, split_not_cleaned=True),
+    "stt": lambda: STTBugs(tainted_store_tlb=False),
+    "speclfb": lambda: SpecLFBBugs(first_load_unprotected=False),
+}
+
+
+def available_defenses() -> Tuple[str, ...]:
+    """Names of all testable targets."""
+    return tuple(_DEFENSES)
+
+
+def create_defense(name: str, patched: bool = False, bugs=None) -> Defense:
+    """Instantiate a defense by name.
+
+    ``patched=True`` returns the variant with the paper's straightforward
+    implementation-bug fixes applied (UV1 for InvisiSpec, UV3 for
+    CleanupSpec, KV3 for STT, UV6 for SpecLFB); design-level weaknesses such
+    as UV2/UV5/KV2 cannot be "patched" by a flag and remain.  Passing an
+    explicit ``bugs`` object overrides ``patched``.
+    """
+    key = name.lower()
+    if key not in _DEFENSES:
+        known = ", ".join(sorted(_DEFENSES))
+        raise KeyError(f"unknown defense {name!r}; known defenses: {known}")
+    defense_class = _DEFENSES[key]
+    if key == "baseline":
+        return defense_class()
+    if bugs is None and patched:
+        bugs = _PATCHED_BUGS[key]()
+    if bugs is None:
+        return defense_class()
+    return defense_class(bugs)
+
+
+def defense_class(name: str) -> Type[Defense]:
+    key = name.lower()
+    if key not in _DEFENSES:
+        raise KeyError(f"unknown defense {name!r}")
+    return _DEFENSES[key]

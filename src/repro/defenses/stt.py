@@ -1,0 +1,94 @@
+"""STT — Speculative Taint Tracking (Yu et al., MICRO 2019), Futuristic mode.
+
+Data returned by speculative loads is *tainted*; instructions whose operands
+derive from tainted data and that could transmit it through a side channel
+(here: loads and stores whose *address* is tainted) are blocked from
+executing until the source loads become safe, at which point the taint is
+cleared.  Untainted speculative accesses are allowed to proceed normally —
+STT protects speculatively *accessed* data, not the access instruction's own
+(attacker-known) address — which is why the paper tests it against the
+``ARCH-SEQ`` contract.
+
+* **KV3 (implementation bug, ``tainted_store_tlb``)** — tainted speculative
+  stores are incorrectly allowed to execute and perform their TLB access,
+  installing a D-TLB entry whose page number encodes the tainted address
+  (Figure 9).  Previously reported by DOLMA.  The patched variant delays
+  tainted stores like tainted loads; STT campaigns use a 128-page sandbox so
+  TLB leakage is observable at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.defenses.base import Defense, DefenseBugs
+from repro.defenses.baseline import BaselineDefense
+
+
+@dataclass
+class STTBugs(DefenseBugs):
+    """Implementation bugs of the public STT gem5 code base."""
+
+    #: KV3 -- tainted speculative stores still access (and fill) the D-TLB.
+    tainted_store_tlb: bool = True
+
+
+class STTDefense(Defense):
+    """Block transmitters whose address depends on speculatively loaded data."""
+
+    name = "stt"
+    recommended_contract = "ARCH-SEQ"
+    recommended_sandbox_pages = 128
+
+    def __init__(self, bugs: Optional[STTBugs] = None) -> None:
+        super().__init__(bugs if bugs is not None else STTBugs())
+        self._baseline = BaselineDefense()
+
+    def attach(self, core) -> None:
+        super().attach(core)
+        self._baseline.attach(core)
+
+    # -- taint computation ---------------------------------------------------------
+    def _tainting_loads(self, entry) -> List[object]:
+        """Speculative, still-unsafe loads whose data reaches the address."""
+        producers = self.core.producer_chain(
+            entry, entry.instruction.address_registers()
+        )
+        return [
+            producer
+            for producer in producers
+            if producer.is_load
+            and producer.speculative
+            and not producer.safe_notified
+            and not producer.squashed
+        ]
+
+    def _address_is_tainted(self, entry) -> bool:
+        return bool(self._tainting_loads(entry))
+
+    # -- memory path --------------------------------------------------------------------
+    def load_execute(self, entry, cycle: int) -> Optional[int]:
+        if self._address_is_tainted(entry):
+            # Explicit-channel protection: delay the transmitter until the
+            # tainting loads become safe (or this load gets squashed).
+            if self.core is not None:
+                self.core.stats.record_defense_event("stt_delayed_loads")
+            return None
+        return self._baseline.load_execute(entry, cycle)
+
+    def store_execute(self, entry, cycle: int) -> Optional[int]:
+        if self._address_is_tainted(entry):
+            if self.bugs and getattr(self.bugs, "tainted_store_tlb", False):
+                # KV3: the tainted store executes anyway and fills the TLB.
+                tlb_latency = self.memory.dtlb_access(entry.mem_address, install=True)
+                if self.core is not None:
+                    self.core.stats.record_defense_event("kv3_tainted_store_tlb")
+                return 1 + tlb_latency
+            if self.core is not None:
+                self.core.stats.record_defense_event("stt_delayed_stores")
+            return None
+        return self._baseline.store_execute(entry, cycle)
+
+    def commit_store(self, entry, cycle: int) -> None:
+        self._baseline.commit_store(entry, cycle)

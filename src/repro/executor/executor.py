@@ -1,0 +1,217 @@
+"""The simulator executor: runs test cases and extracts micro-architectural traces."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.defenses.base import Defense
+from repro.defenses.registry import create_defense
+from repro.executor.startup import SIMULATE, STARTUP, TRACE_EXTRACTION, ModeledTime, TimeModel
+from repro.executor.traces import BASELINE_TRACE, TraceConfig, UarchTrace, build_trace
+from repro.generator.inputs import Input
+from repro.generator.sandbox import Sandbox
+from repro.isa.program import Program
+from repro.uarch.config import UarchConfig
+from repro.uarch.core import O3Core, SimulationResult
+
+
+class ExecutionMode(str, Enum):
+    """Naive restarts the simulator per test case; Opt restarts per program."""
+
+    NAIVE = "naive"
+    OPT = "opt"
+
+
+class PrimeStrategy(str, Enum):
+    """How the data cache is initialised before each test case.
+
+    ``FILL`` loads every L1D set with addresses from outside the sandbox (the
+    paper's preferred strategy: leaks become visible both as installs and as
+    evictions).  ``FLUSH`` starts from empty caches (the strategy used for
+    CleanupSpec and SpecLFB, whose simulator versions support direct
+    invalidation).  ``NONE`` leaves whatever the previous test left behind.
+    """
+
+    FILL = "fill"
+    FLUSH = "flush"
+    NONE = "none"
+
+
+#: Base address of the priming region; chosen to conflict with sandbox sets
+#: while being clearly outside any sandbox (max sandbox is 128 pages).
+PRIME_REGION_BASE = 0x1000000
+
+#: Default priming strategy per defense, following Section 3.5 of the paper.
+DEFAULT_PRIME_STRATEGY: Dict[str, PrimeStrategy] = {
+    "baseline": PrimeStrategy.FILL,
+    "invisispec": PrimeStrategy.FILL,
+    "stt": PrimeStrategy.FILL,
+    "cleanupspec": PrimeStrategy.FLUSH,
+    "speclfb": PrimeStrategy.FLUSH,
+}
+
+
+@dataclass
+class ExecutionRecord:
+    """The executor's output for one test case."""
+
+    trace: UarchTrace
+    result: SimulationResult
+    uarch_context: dict
+
+
+class SimulatorExecutor:
+    """Generates micro-architectural traces for (program, input) test cases.
+
+    The executor owns the simulator lifecycle.  In Opt mode one
+    :class:`O3Core` is constructed per test program (`load_program`) and
+    reused for every input — registers and sandbox memory are simply
+    overwritten, and predictor state carries over.  In Naive mode a fresh
+    core (and defense instance) is constructed for every single input.
+    """
+
+    def __init__(
+        self,
+        defense_factory: Callable[[], Defense] | str = "baseline",
+        uarch_config: Optional[UarchConfig] = None,
+        sandbox: Optional[Sandbox] = None,
+        trace_config: TraceConfig = BASELINE_TRACE,
+        mode: ExecutionMode = ExecutionMode.OPT,
+        prime_strategy: Optional[PrimeStrategy] = None,
+        time_model: Optional[TimeModel] = None,
+    ) -> None:
+        if isinstance(defense_factory, str):
+            defense_name = defense_factory
+            self.defense_factory: Callable[[], Defense] = lambda: create_defense(defense_name)
+        else:
+            self.defense_factory = defense_factory
+        self.uarch_config = uarch_config or UarchConfig()
+        self.sandbox = sandbox or Sandbox()
+        self.trace_config = trace_config
+        self.mode = ExecutionMode(mode)
+        probe_defense = self.defense_factory()
+        self.defense_name = probe_defense.name
+        if prime_strategy is None:
+            prime_strategy = DEFAULT_PRIME_STRATEGY.get(
+                self.defense_name, PrimeStrategy.FILL
+            )
+        self.prime_strategy = PrimeStrategy(prime_strategy)
+        self.time = ModeledTime(model=time_model or TimeModel())
+
+        self._program: Optional[Program] = None
+        self._core: Optional[O3Core] = None
+        self.simulator_starts = 0
+        self.test_cases_executed = 0
+
+    # -- lifecycle ------------------------------------------------------------
+    def load_program(self, program: Program) -> None:
+        """Prepare the executor for a new test program."""
+        self._program = program
+        if self.mode is ExecutionMode.OPT:
+            self._core = self._start_simulator(program)
+        else:
+            self._core = None
+
+    def _start_simulator(self, program: Program) -> O3Core:
+        started = time.perf_counter()
+        core = O3Core(
+            program,
+            config=self.uarch_config,
+            defense=self.defense_factory(),
+            sandbox=self.sandbox,
+        )
+        self.simulator_starts += 1
+        self.time.charge_startup()
+        self.time.add_wall_clock(STARTUP, time.perf_counter() - started)
+        return core
+
+    # -- cache priming ----------------------------------------------------------
+    def _prime(self, core: O3Core) -> int:
+        """Reset/prime the memory hierarchy before a test case.
+
+        Returns the number of "instructions" the priming would have cost if
+        done with explicit loads, which the time model charges to simulation
+        (the paper resets the cache with real instructions and notes the
+        resulting 10x increase in instructions per test).
+        """
+        core.memory.reset_caches()
+        if self.prime_strategy is PrimeStrategy.FILL:
+            primed_lines = core.memory.prime_l1d(PRIME_REGION_BASE)
+            return primed_lines
+        return 0
+
+    # -- execution -----------------------------------------------------------------
+    def run_input(
+        self,
+        test_input: Input,
+        uarch_context: Optional[dict] = None,
+    ) -> ExecutionRecord:
+        """Run one input of the current program and extract its trace.
+
+        ``uarch_context`` optionally forces the predictor state before the
+        run — used when validating violations (re-running two inputs from the
+        same initial micro-architectural context).
+        """
+        if self._program is None:
+            raise RuntimeError("load_program() must be called before run_input()")
+
+        if self.mode is ExecutionMode.NAIVE or self._core is None:
+            core = self._start_simulator(self._program)
+            if self.mode is ExecutionMode.OPT:
+                self._core = core
+        else:
+            core = self._core
+
+        if uarch_context is not None:
+            core.restore_uarch_context(uarch_context)
+        context_before = core.save_uarch_context()
+
+        priming_instructions = self._prime(core)
+
+        simulate_started = time.perf_counter()
+        result = core.run(test_input)
+        self.time.charge_simulation(
+            priming_instructions + result.stats.instructions_committed
+        )
+        self.time.add_wall_clock(SIMULATE, time.perf_counter() - simulate_started)
+
+        extraction_started = time.perf_counter()
+        trace = build_trace(core, self.trace_config)
+        self.time.charge_trace_extraction()
+        self.time.add_wall_clock(TRACE_EXTRACTION, time.perf_counter() - extraction_started)
+
+        self.test_cases_executed += 1
+        return ExecutionRecord(trace=trace, result=result, uarch_context=context_before)
+
+    def trace_batch(
+        self, program: Program, inputs: List[Input]
+    ) -> List[ExecutionRecord]:
+        """Convenience helper: load a program and run a list of inputs."""
+        self.load_program(program)
+        return [self.run_input(test_input) for test_input in inputs]
+
+    def run_pair_with_shared_context(
+        self,
+        test_input_a: Input,
+        test_input_b: Input,
+        uarch_context: dict,
+    ) -> Tuple[UarchTrace, UarchTrace]:
+        """Re-run two inputs from an identical starting micro-architectural
+        context (the paper's violation-validation step for Opt mode)."""
+        record_a = self.run_input(test_input_a, uarch_context=uarch_context)
+        record_b = self.run_input(test_input_b, uarch_context=uarch_context)
+        return record_a.trace, record_b.trace
+
+    # -- metadata ------------------------------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        return {
+            "defense": self.defense_name,
+            "mode": self.mode.value,
+            "trace": self.trace_config.name,
+            "prime": self.prime_strategy.value,
+            "uarch": self.uarch_config.describe(),
+            "sandbox_pages": self.sandbox.pages,
+        }

@@ -1,0 +1,27 @@
+"""Random test-case generation (programs and inputs).
+
+AMuLeT reuses Revizor's test generator: short programs of up to five basic
+blocks of randomly selected instructions linked by forward jumps (a DAG), all
+memory accesses forced into a fixed, initialised memory sandbox, plus a
+stream of seeded pseudo-random inputs that initialise the program's registers
+and sandbox memory.  This package re-implements that generator for the
+reproduction ISA, together with the *contract-preserving input mutation*
+("boosting") the paper relies on: given the set of input locations that
+influence an input's contract trace, new inputs are derived that keep those
+locations fixed and randomise everything else, guaranteeing identical
+contract traces while varying speculative behaviour.
+"""
+
+from repro.generator.config import GeneratorConfig
+from repro.generator.inputs import Input, InputGenerator, TaintLabel
+from repro.generator.program_generator import ProgramGenerator
+from repro.generator.sandbox import Sandbox
+
+__all__ = [
+    "GeneratorConfig",
+    "Input",
+    "InputGenerator",
+    "TaintLabel",
+    "ProgramGenerator",
+    "Sandbox",
+]

@@ -1,0 +1,77 @@
+"""Configuration of the random program generator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.generator.sandbox import Sandbox
+
+
+#: Relative frequencies of instruction templates, mirroring the knob Revizor
+#: exposes for "configuring the instruction pool and instruction frequencies".
+DEFAULT_INSTRUCTION_WEIGHTS: Dict[str, float] = {
+    "alu_reg_reg": 2.0,
+    "alu_reg_imm": 2.0,
+    "mov_reg_imm": 1.0,
+    "mov_reg_reg": 1.0,
+    "cmp_reg_reg": 1.5,
+    "cmp_reg_imm": 1.5,
+    "cmov_reg_reg": 1.0,
+    "setcc_reg": 0.5,
+    "load": 3.0,
+    "store": 2.0,
+    "load_op": 1.5,
+    "rmw": 1.0,
+    "cmov_load": 1.0,
+}
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs of the Revizor-style program generator.
+
+    The defaults match the shape the paper describes: up to five basic
+    blocks of a few random instructions each, connected as a forward DAG,
+    with every memory access masked into the sandbox.
+    """
+
+    #: Number of basic blocks (excluding the exit block), chosen uniformly.
+    min_basic_blocks: int = 2
+    max_basic_blocks: int = 5
+    #: Instructions per basic block (before masking instructions are added).
+    min_block_instructions: int = 3
+    max_block_instructions: int = 8
+    #: Memory sandbox shared by all accesses of the program.
+    sandbox: Sandbox = field(default_factory=Sandbox)
+    #: Relative instruction-template frequencies.
+    instruction_weights: Dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_INSTRUCTION_WEIGHTS)
+    )
+    #: Probability that a conditional terminator is generated for a block
+    #: (otherwise the block ends with an unconditional jump).
+    conditional_branch_probability: float = 0.8
+    #: Probability that a memory access is intentionally left unaligned so it
+    #: may cross a cache-line boundary (exercises split requests, UV4).
+    unaligned_access_probability: float = 0.1
+    #: Access sizes (bytes) and their weights for memory instructions.
+    access_size_weights: Dict[int, float] = field(
+        default_factory=lambda: {8: 6.0, 4: 2.0, 2: 1.0, 1: 1.0}
+    )
+
+    def __post_init__(self) -> None:
+        if self.min_basic_blocks < 1 or self.max_basic_blocks < self.min_basic_blocks:
+            raise ValueError("invalid basic block range")
+        if (
+            self.min_block_instructions < 1
+            or self.max_block_instructions < self.min_block_instructions
+        ):
+            raise ValueError("invalid block instruction range")
+        if not 0.0 <= self.conditional_branch_probability <= 1.0:
+            raise ValueError("conditional_branch_probability must be in [0, 1]")
+        if not 0.0 <= self.unaligned_access_probability <= 1.0:
+            raise ValueError("unaligned_access_probability must be in [0, 1]")
+        if not self.instruction_weights:
+            raise ValueError("instruction_weights cannot be empty")
+        if any(weight < 0 for weight in self.instruction_weights.values()):
+            raise ValueError("instruction weights must be non-negative")

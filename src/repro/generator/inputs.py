@@ -1,0 +1,169 @@
+"""Test inputs and the seeded input generator.
+
+An input initialises the architectural state a test program starts from: the
+six input registers and the contents of the memory sandbox.  Inputs are
+generated from a seeded pseudo-random number generator so campaigns are
+reproducible, and can be *mutated while preserving the contract trace*:
+given the set of input locations (registers / 8-byte sandbox granules) that
+the leakage model's taint tracker marked as contract-relevant, a mutation
+keeps those locations fixed and randomises everything else.  This "input
+boosting" is what makes contract-equivalence classes of size > 1 common
+enough for relational testing to find violations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.generator.sandbox import Sandbox
+from repro.isa.registers import INPUT_REGISTERS, MASK64
+
+#: A taint label identifies one input location: ``("reg", "rax")`` for a
+#: register or ``("mem", offset)`` for the 8-byte sandbox granule starting at
+#: ``offset`` (offset is always granule-aligned).
+TaintLabel = Tuple[str, object]
+
+#: Granularity at which sandbox memory is tracked and mutated.
+MEMORY_GRANULE = 8
+
+
+def memory_taint_label(offset: int) -> TaintLabel:
+    """Return the taint label of the granule containing sandbox ``offset``."""
+    return ("mem", (offset // MEMORY_GRANULE) * MEMORY_GRANULE)
+
+
+def register_taint_label(name: str) -> TaintLabel:
+    return ("reg", name)
+
+
+@dataclass(frozen=True)
+class Input:
+    """One test input: register values plus sandbox memory contents."""
+
+    registers: Tuple[Tuple[str, int], ...]
+    memory: bytes
+    seed: int = 0
+
+    @staticmethod
+    def create(registers: Dict[str, int], memory: bytes, seed: int = 0) -> "Input":
+        ordered = tuple(sorted((name, value & MASK64) for name, value in registers.items()))
+        return Input(registers=ordered, memory=bytes(memory), seed=seed)
+
+    def register_dict(self) -> Dict[str, int]:
+        return dict(self.registers)
+
+    def memory_word(self, offset: int, size: int = MEMORY_GRANULE) -> int:
+        return int.from_bytes(self.memory[offset : offset + size], "little")
+
+    def fingerprint(self) -> int:
+        """A stable hash usable as a dictionary key in campaign bookkeeping."""
+        return hash((self.registers, self.memory))
+
+    def __len__(self) -> int:
+        return len(self.memory)
+
+
+class InputGenerator:
+    """Generates and mutates test inputs from a seeded PRNG."""
+
+    def __init__(
+        self,
+        sandbox: Sandbox,
+        seed: int = 0,
+        register_value_bits: int = 16,
+        memory_value_bits: int = 16,
+    ) -> None:
+        """Create a generator.
+
+        ``register_value_bits`` / ``memory_value_bits`` bound the magnitude of
+        generated values.  Small-ish values make flag conditions (and thus
+        branch outcomes) vary between inputs, which is what drives coverage
+        of both branch directions during fuzzing; address randomness is
+        unaffected because generated programs mask addresses anyway.
+        """
+        self.sandbox = sandbox
+        self.seed = seed
+        self.register_value_bits = register_value_bits
+        self.memory_value_bits = memory_value_bits
+        self._rng = random.Random(seed)
+        self._counter = 0
+
+    # -- generation -----------------------------------------------------------
+    def _random_value(self, rng: random.Random, bits: int) -> int:
+        # Mix small values (likely to collide / flip flags) with wide values.
+        if rng.random() < 0.25:
+            return rng.getrandbits(4)
+        return rng.getrandbits(bits)
+
+    def generate_one(self) -> Input:
+        """Generate the next input in the seeded stream."""
+        self._counter += 1
+        rng = random.Random((self.seed << 20) ^ self._counter)
+        registers = {
+            name: self._random_value(rng, self.register_value_bits)
+            for name in INPUT_REGISTERS
+        }
+        memory = bytearray(self.sandbox.size)
+        for offset in range(0, self.sandbox.size, MEMORY_GRANULE):
+            word = self._random_value(rng, self.memory_value_bits)
+            memory[offset : offset + MEMORY_GRANULE] = word.to_bytes(
+                MEMORY_GRANULE, "little"
+            )
+        return Input.create(registers, bytes(memory), seed=self._counter)
+
+    def generate(self, count: int) -> List[Input]:
+        """Generate ``count`` fresh inputs."""
+        return [self.generate_one() for _ in range(count)]
+
+    # -- contract-preserving mutation (input boosting) -------------------------
+    def mutate_preserving(
+        self,
+        base: Input,
+        preserve: Set[TaintLabel],
+        count: int = 1,
+        salt: int = 0,
+    ) -> List[Input]:
+        """Derive ``count`` inputs from ``base`` that keep ``preserve`` fixed.
+
+        Registers and memory granules *not* named in ``preserve`` are
+        re-randomised; everything in ``preserve`` is copied verbatim from
+        ``base``, so any observation that depends only on preserved locations
+        (in particular the contract trace that produced the taint set) is
+        unchanged.
+        """
+        variants: List[Input] = []
+        for index in range(count):
+            rng = random.Random((base.fingerprint() & MASK64) ^ (salt << 8) ^ (index + 1))
+            registers = base.register_dict()
+            for name in INPUT_REGISTERS:
+                if register_taint_label(name) not in preserve:
+                    registers[name] = self._random_value(rng, self.register_value_bits)
+            memory = bytearray(base.memory)
+            for offset in range(0, self.sandbox.size, MEMORY_GRANULE):
+                if memory_taint_label(offset) not in preserve:
+                    word = self._random_value(rng, self.memory_value_bits)
+                    memory[offset : offset + MEMORY_GRANULE] = word.to_bytes(
+                        MEMORY_GRANULE, "little"
+                    )
+            variants.append(Input.create(registers, bytes(memory), seed=base.seed))
+        return variants
+
+    @staticmethod
+    def preserved_equal(a: Input, b: Input, preserve: Iterable[TaintLabel]) -> bool:
+        """Check that two inputs agree on every preserved location."""
+        regs_a, regs_b = a.register_dict(), b.register_dict()
+        for label in preserve:
+            kind, which = label
+            if kind == "reg":
+                if regs_a.get(which) != regs_b.get(which):
+                    return False
+            else:
+                offset = int(which)
+                if (
+                    a.memory[offset : offset + MEMORY_GRANULE]
+                    != b.memory[offset : offset + MEMORY_GRANULE]
+                ):
+                    return False
+        return True

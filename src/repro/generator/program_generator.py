@@ -1,0 +1,238 @@
+"""Revizor-style random program generator.
+
+Programs are short (a handful of basic blocks, each a handful of
+instructions), form a forward DAG of branches, and access memory only inside
+the sandbox: before every memory access the generator emits an ``AND`` that
+masks the index register to the sandbox size, exactly like the test programs
+shown in the paper (e.g. ``AND RBX, 0b111111111111`` followed by
+``XOR qword ptr [R14 + RBX], RDI`` in Figure 4).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.generator.config import GeneratorConfig
+from repro.isa.instructions import (
+    CONDITION_CODES,
+    Instruction,
+    Opcode,
+    cond_branch,
+    exit_instruction,
+    jump,
+)
+from repro.isa.operands import Immediate, MemoryOperand, Register
+from repro.isa.program import BasicBlock, Program
+from repro.isa.registers import INPUT_REGISTERS, SCRATCH_REGISTERS
+
+#: Registers the generator may use as instruction operands.  ``r14`` (sandbox
+#: base) and ``r15`` are reserved.
+OPERAND_REGISTERS: Sequence[str] = tuple(INPUT_REGISTERS) + tuple(SCRATCH_REGISTERS)
+
+_ALU_REG_OPCODES = (
+    Opcode.ADD,
+    Opcode.SUB,
+    Opcode.AND,
+    Opcode.OR,
+    Opcode.XOR,
+    Opcode.INC,
+    Opcode.DEC,
+    Opcode.NOT,
+    Opcode.NEG,
+    Opcode.SHL,
+    Opcode.SHR,
+)
+
+_ALU_MEM_OPCODES = (Opcode.ADD, Opcode.OR, Opcode.XOR, Opcode.AND)
+
+
+class ProgramGenerator:
+    """Generates random test programs from a seeded PRNG."""
+
+    def __init__(self, config: Optional[GeneratorConfig] = None, seed: int = 0) -> None:
+        self.config = config or GeneratorConfig()
+        self.seed = seed
+        self._counter = 0
+
+    # -- public API -----------------------------------------------------------
+    def generate(self) -> Program:
+        """Generate the next program in the seeded stream."""
+        self._counter += 1
+        rng = random.Random((self.seed << 24) ^ self._counter)
+        return self._generate_program(rng, name=f"test_{self.seed}_{self._counter}")
+
+    def generate_many(self, count: int) -> List[Program]:
+        return [self.generate() for _ in range(count)]
+
+    # -- program construction ---------------------------------------------------
+    def _generate_program(self, rng: random.Random, name: str) -> Program:
+        config = self.config
+        block_count = rng.randint(config.min_basic_blocks, config.max_basic_blocks)
+        block_names = [f"bb_main.{index}" for index in range(block_count)]
+        exit_name = "bb_main.exit"
+
+        blocks: List[BasicBlock] = []
+        for index, block_name in enumerate(block_names):
+            block = BasicBlock(block_name)
+            instruction_count = rng.randint(
+                config.min_block_instructions, config.max_block_instructions
+            )
+            for _ in range(instruction_count):
+                block.instructions.extend(self._random_instruction(rng))
+            self._terminate_block(rng, block, index, block_names, exit_name)
+            blocks.append(block)
+        blocks.append(BasicBlock(exit_name, [], exit_instruction()))
+        return Program(blocks, name=name)
+
+    def _terminate_block(
+        self,
+        rng: random.Random,
+        block: BasicBlock,
+        index: int,
+        block_names: List[str],
+        exit_name: str,
+    ) -> None:
+        """Attach DAG-shaped control flow to the end of ``block``.
+
+        With high probability the block ends in a conditional branch to a
+        strictly later block followed by an unconditional jump to another
+        later block (the Revizor pattern); otherwise it simply jumps forward.
+        All edges point forward, so generated programs always terminate.
+        """
+        forward_targets = block_names[index + 1 :] + [exit_name]
+        fallthrough = forward_targets[0]
+        if rng.random() < self.config.conditional_branch_probability:
+            taken_target = rng.choice(forward_targets)
+            condition = rng.choice(CONDITION_CODES)
+            block.instructions.append(cond_branch(condition, taken_target))
+        block.terminator = jump(fallthrough)
+
+    # -- instruction templates ---------------------------------------------------
+    def _random_instruction(self, rng: random.Random) -> List[Instruction]:
+        weights = self.config.instruction_weights
+        template = rng.choices(list(weights.keys()), list(weights.values()))[0]
+        return getattr(self, f"_template_{template}")(rng)
+
+    def _register(self, rng: random.Random) -> str:
+        return rng.choice(OPERAND_REGISTERS)
+
+    def _small_immediate(self, rng: random.Random) -> int:
+        return rng.randint(0, 255)
+
+    def _access_size(self, rng: random.Random) -> int:
+        sizes = self.config.access_size_weights
+        return rng.choices(list(sizes.keys()), list(sizes.values()))[0]
+
+    def _masked_memory_operand(
+        self, rng: random.Random, size: int
+    ) -> tuple[List[Instruction], MemoryOperand]:
+        """Mask an index register into the sandbox and build a memory operand."""
+        index_register = self._register(rng)
+        sandbox = self.config.sandbox
+        if rng.random() < self.config.unaligned_access_probability:
+            mask = sandbox.mask
+        else:
+            mask = sandbox.aligned_mask
+        masking = Instruction(
+            Opcode.AND, (Register(index_register), Immediate(mask))
+        )
+        operand = MemoryOperand(index=index_register, size=size)
+        return [masking], operand
+
+    # Each template returns the full instruction sequence it expands to
+    # (masking instructions included) so callers can simply extend a block.
+
+    def _template_alu_reg_reg(self, rng: random.Random) -> List[Instruction]:
+        opcode = rng.choice(_ALU_REG_OPCODES)
+        dest = self._register(rng)
+        if opcode in (Opcode.INC, Opcode.DEC, Opcode.NOT, Opcode.NEG):
+            return [Instruction(opcode, (Register(dest),))]
+        return [Instruction(opcode, (Register(dest), Register(self._register(rng))))]
+
+    def _template_alu_reg_imm(self, rng: random.Random) -> List[Instruction]:
+        opcode = rng.choice((Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR))
+        dest = self._register(rng)
+        return [Instruction(opcode, (Register(dest), Immediate(self._small_immediate(rng))))]
+
+    def _template_mov_reg_imm(self, rng: random.Random) -> List[Instruction]:
+        return [
+            Instruction(
+                Opcode.MOV,
+                (Register(self._register(rng)), Immediate(self._small_immediate(rng))),
+            )
+        ]
+
+    def _template_mov_reg_reg(self, rng: random.Random) -> List[Instruction]:
+        return [
+            Instruction(
+                Opcode.MOV, (Register(self._register(rng)), Register(self._register(rng)))
+            )
+        ]
+
+    def _template_cmp_reg_reg(self, rng: random.Random) -> List[Instruction]:
+        opcode = rng.choice((Opcode.CMP, Opcode.TEST))
+        return [
+            Instruction(
+                opcode, (Register(self._register(rng)), Register(self._register(rng)))
+            )
+        ]
+
+    def _template_cmp_reg_imm(self, rng: random.Random) -> List[Instruction]:
+        return [
+            Instruction(
+                Opcode.CMP,
+                (Register(self._register(rng)), Immediate(self._small_immediate(rng))),
+            )
+        ]
+
+    def _template_cmov_reg_reg(self, rng: random.Random) -> List[Instruction]:
+        condition = rng.choice(CONDITION_CODES)
+        return [
+            Instruction(
+                Opcode.CMOV,
+                (Register(self._register(rng)), Register(self._register(rng))),
+                condition=condition,
+            )
+        ]
+
+    def _template_setcc_reg(self, rng: random.Random) -> List[Instruction]:
+        condition = rng.choice(CONDITION_CODES)
+        return [
+            Instruction(Opcode.SETCC, (Register(self._register(rng)),), condition=condition)
+        ]
+
+    def _template_load(self, rng: random.Random) -> List[Instruction]:
+        size = self._access_size(rng)
+        masking, operand = self._masked_memory_operand(rng, size)
+        dest = self._register(rng)
+        return masking + [Instruction(Opcode.MOV, (Register(dest), operand))]
+
+    def _template_store(self, rng: random.Random) -> List[Instruction]:
+        size = self._access_size(rng)
+        masking, operand = self._masked_memory_operand(rng, size)
+        source = self._register(rng)
+        return masking + [Instruction(Opcode.MOV, (operand, Register(source)))]
+
+    def _template_load_op(self, rng: random.Random) -> List[Instruction]:
+        size = self._access_size(rng)
+        masking, operand = self._masked_memory_operand(rng, size)
+        opcode = rng.choice(_ALU_MEM_OPCODES)
+        dest = self._register(rng)
+        return masking + [Instruction(opcode, (Register(dest), operand))]
+
+    def _template_rmw(self, rng: random.Random) -> List[Instruction]:
+        size = self._access_size(rng)
+        masking, operand = self._masked_memory_operand(rng, size)
+        opcode = rng.choice(_ALU_MEM_OPCODES)
+        source = self._register(rng)
+        return masking + [Instruction(opcode, (operand, Register(source)))]
+
+    def _template_cmov_load(self, rng: random.Random) -> List[Instruction]:
+        size = self._access_size(rng)
+        masking, operand = self._masked_memory_operand(rng, size)
+        condition = rng.choice(CONDITION_CODES)
+        dest = self._register(rng)
+        return masking + [
+            Instruction(Opcode.CMOV, (Register(dest), operand), condition=condition)
+        ]

@@ -1,0 +1,347 @@
+"""Instruction definitions for the reproduction ISA."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Optional, Tuple
+
+from repro.isa.operands import Immediate, Label, MemoryOperand, Operand, Register
+
+
+class Opcode(Enum):
+    """Operations supported by the ISA.
+
+    The set is intentionally small but covers everything the paper's test
+    programs exercise: data movement, ALU operations that set flags,
+    conditional moves (data-dependent loads), conditional and unconditional
+    branches, and an explicit ``EXIT`` marker that plays the role of gem5's
+    ``m5exit`` pseudo-instruction (end of the test case).
+    """
+
+    MOV = auto()
+    ADD = auto()
+    SUB = auto()
+    AND = auto()
+    OR = auto()
+    XOR = auto()
+    CMP = auto()
+    TEST = auto()
+    INC = auto()
+    DEC = auto()
+    NEG = auto()
+    NOT = auto()
+    SHL = auto()
+    SHR = auto()
+    CMOV = auto()
+    SETCC = auto()
+    JMP = auto()
+    JCC = auto()
+    NOP = auto()
+    LFENCE = auto()
+    EXIT = auto()
+
+
+class InstructionClass(Enum):
+    """Coarse classification used by the generator and the simulator."""
+
+    ALU = auto()
+    LOAD = auto()
+    STORE = auto()
+    RMW = auto()  # read-modify-write on memory (both a load and a store)
+    BRANCH = auto()
+    FENCE = auto()
+    NOP = auto()
+    EXIT = auto()
+
+
+#: Condition codes usable with CMOV / Jcc / SETcc, mirroring x86 mnemonics.
+CONDITION_CODES = (
+    "z",
+    "nz",
+    "s",
+    "ns",
+    "o",
+    "no",
+    "l",
+    "ge",
+    "le",
+    "g",
+    "b",
+    "nb",
+    "be",
+    "a",
+    "p",
+    "np",
+)
+
+#: Opcodes that write their first (destination) operand.
+_WRITES_DEST = {
+    Opcode.MOV,
+    Opcode.ADD,
+    Opcode.SUB,
+    Opcode.AND,
+    Opcode.OR,
+    Opcode.XOR,
+    Opcode.INC,
+    Opcode.DEC,
+    Opcode.NEG,
+    Opcode.NOT,
+    Opcode.SHL,
+    Opcode.SHR,
+    Opcode.CMOV,
+    Opcode.SETCC,
+}
+
+#: Opcodes that update the flags register.
+_WRITES_FLAGS = {
+    Opcode.ADD,
+    Opcode.SUB,
+    Opcode.AND,
+    Opcode.OR,
+    Opcode.XOR,
+    Opcode.CMP,
+    Opcode.TEST,
+    Opcode.INC,
+    Opcode.DEC,
+    Opcode.NEG,
+    Opcode.SHL,
+    Opcode.SHR,
+}
+
+#: Opcodes that read the flags register.
+_READS_FLAGS = {Opcode.CMOV, Opcode.SETCC, Opcode.JCC}
+
+_SEQUENCE = itertools.count()
+
+
+@dataclass
+class Instruction:
+    """A single instruction.
+
+    ``operands`` follows Intel order: destination first.  ``condition`` is
+    only meaningful for :data:`Opcode.CMOV`, :data:`Opcode.SETCC` and
+    :data:`Opcode.JCC`.  The program assembler fills in ``pc`` (byte address)
+    and, for branches, ``target_pc``/``fallthrough_pc``.
+    """
+
+    opcode: Opcode
+    operands: Tuple[Operand, ...] = ()
+    condition: Optional[str] = None
+    pc: Optional[int] = None
+    target_pc: Optional[int] = None
+    fallthrough_pc: Optional[int] = None
+    uid: int = field(default_factory=lambda: next(_SEQUENCE))
+
+    def __post_init__(self) -> None:
+        if self.opcode in (Opcode.CMOV, Opcode.SETCC, Opcode.JCC):
+            if self.condition not in CONDITION_CODES:
+                raise ValueError(
+                    f"{self.opcode.name} requires a condition code, "
+                    f"got {self.condition!r}"
+                )
+
+    # -- structural queries --------------------------------------------------
+    @property
+    def memory_operand(self) -> Optional[MemoryOperand]:
+        """Return the memory operand, if any (at most one is supported)."""
+        for operand in self.operands:
+            if isinstance(operand, MemoryOperand):
+                return operand
+        return None
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opcode in (Opcode.JMP, Opcode.JCC)
+
+    @property
+    def is_cond_branch(self) -> bool:
+        return self.opcode is Opcode.JCC
+
+    @property
+    def is_exit(self) -> bool:
+        return self.opcode is Opcode.EXIT
+
+    @property
+    def is_load(self) -> bool:
+        """True if the instruction reads memory."""
+        mem = self.memory_operand
+        if mem is None:
+            return False
+        if self.opcode is Opcode.MOV:
+            # MOV reads memory only when the memory operand is the source.
+            return isinstance(self.operands[1], MemoryOperand)
+        if self.opcode is Opcode.CMOV:
+            return isinstance(self.operands[1], MemoryOperand)
+        if self.opcode in (Opcode.CMP, Opcode.TEST):
+            return True
+        # ALU op with a memory destination is a read-modify-write.
+        if self.opcode in (
+            Opcode.ADD,
+            Opcode.SUB,
+            Opcode.AND,
+            Opcode.OR,
+            Opcode.XOR,
+            Opcode.INC,
+            Opcode.DEC,
+            Opcode.NEG,
+            Opcode.NOT,
+        ):
+            return True
+        return False
+
+    @property
+    def is_store(self) -> bool:
+        """True if the instruction writes memory."""
+        mem = self.memory_operand
+        if mem is None:
+            return False
+        if self.opcode in (Opcode.CMP, Opcode.TEST):
+            return False
+        if self.opcode in (Opcode.MOV, Opcode.SETCC):
+            return isinstance(self.operands[0], MemoryOperand)
+        if self.opcode is Opcode.CMOV:
+            return False
+        if self.opcode in (
+            Opcode.ADD,
+            Opcode.SUB,
+            Opcode.AND,
+            Opcode.OR,
+            Opcode.XOR,
+            Opcode.INC,
+            Opcode.DEC,
+            Opcode.NEG,
+            Opcode.NOT,
+        ):
+            return isinstance(self.operands[0], MemoryOperand)
+        return False
+
+    @property
+    def is_memory_access(self) -> bool:
+        return self.is_load or self.is_store
+
+    @property
+    def instruction_class(self) -> InstructionClass:
+        if self.opcode is Opcode.EXIT:
+            return InstructionClass.EXIT
+        if self.opcode is Opcode.NOP:
+            return InstructionClass.NOP
+        if self.opcode is Opcode.LFENCE:
+            return InstructionClass.FENCE
+        if self.is_branch:
+            return InstructionClass.BRANCH
+        if self.is_load and self.is_store:
+            return InstructionClass.RMW
+        if self.is_load:
+            return InstructionClass.LOAD
+        if self.is_store:
+            return InstructionClass.STORE
+        return InstructionClass.ALU
+
+    @property
+    def writes_dest_register(self) -> bool:
+        return (
+            self.opcode in _WRITES_DEST
+            and bool(self.operands)
+            and isinstance(self.operands[0], Register)
+        )
+
+    @property
+    def writes_flags(self) -> bool:
+        return self.opcode in _WRITES_FLAGS
+
+    @property
+    def reads_flags(self) -> bool:
+        return self.opcode in _READS_FLAGS
+
+    def source_registers(self) -> Tuple[str, ...]:
+        """Names of registers whose values the instruction reads."""
+        sources = []
+        for position, operand in enumerate(self.operands):
+            if isinstance(operand, Register):
+                is_pure_dest = (
+                    position == 0
+                    and self.opcode in (Opcode.MOV, Opcode.CMOV, Opcode.SETCC)
+                )
+                # CMOV keeps the old destination on a false condition, so the
+                # destination is also a source.
+                if self.opcode is Opcode.CMOV and position == 0:
+                    is_pure_dest = False
+                if not is_pure_dest:
+                    sources.append(operand.name)
+            elif isinstance(operand, MemoryOperand):
+                sources.append(operand.base)
+                if operand.index is not None:
+                    sources.append(operand.index)
+        return tuple(dict.fromkeys(sources))
+
+    def destination_register(self) -> Optional[str]:
+        if self.writes_dest_register:
+            return self.operands[0].name  # type: ignore[union-attr]
+        return None
+
+    def address_registers(self) -> Tuple[str, ...]:
+        """Registers that feed the effective-address computation."""
+        mem = self.memory_operand
+        if mem is None:
+            return ()
+        registers = [mem.base]
+        if mem.index is not None:
+            registers.append(mem.index)
+        return tuple(dict.fromkeys(registers))
+
+    # -- formatting ----------------------------------------------------------
+    def mnemonic(self) -> str:
+        if self.opcode is Opcode.CMOV:
+            return f"cmov{self.condition}"
+        if self.opcode is Opcode.SETCC:
+            return f"set{self.condition}"
+        if self.opcode is Opcode.JCC:
+            return f"j{self.condition}"
+        return self.opcode.name.lower()
+
+    def __str__(self) -> str:
+        operand_text = ", ".join(str(op) for op in self.operands)
+        text = self.mnemonic().upper()
+        if operand_text:
+            text = f"{text} {operand_text}"
+        return text
+
+
+# -- convenience constructors ------------------------------------------------
+
+def load(dest: str, index: str | None, displacement: int = 0, size: int = 8) -> Instruction:
+    """``MOV dest, [r14 + index + displacement]``"""
+    return Instruction(
+        Opcode.MOV,
+        (Register(dest), MemoryOperand(index=index, displacement=displacement, size=size)),
+    )
+
+
+def store(index: str | None, source: str, displacement: int = 0, size: int = 8) -> Instruction:
+    """``MOV [r14 + index + displacement], source``"""
+    return Instruction(
+        Opcode.MOV,
+        (MemoryOperand(index=index, displacement=displacement, size=size), Register(source)),
+    )
+
+
+def cmov(condition: str, dest: str, source: Operand) -> Instruction:
+    return Instruction(Opcode.CMOV, (Register(dest), source), condition=condition)
+
+
+def cond_branch(condition: str, target: str) -> Instruction:
+    return Instruction(Opcode.JCC, (Label(target),), condition=condition)
+
+
+def jump(target: str) -> Instruction:
+    return Instruction(Opcode.JMP, (Label(target),))
+
+
+def nop() -> Instruction:
+    return Instruction(Opcode.NOP)
+
+
+def exit_instruction() -> Instruction:
+    return Instruction(Opcode.EXIT)

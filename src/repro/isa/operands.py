@@ -1,0 +1,82 @@
+"""Operand types for the reproduction ISA.
+
+Operands are small frozen dataclasses so they can be shared between
+instructions, hashed, and compared structurally in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.registers import GPR_NAMES, SANDBOX_BASE_REGISTER
+
+
+@dataclass(frozen=True)
+class Register:
+    """A general-purpose register operand."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in GPR_NAMES:
+            raise ValueError(f"unknown register: {self.name}")
+
+    def __str__(self) -> str:
+        return self.name.upper()
+
+
+@dataclass(frozen=True)
+class Immediate:
+    """An immediate (constant) operand."""
+
+    value: int
+
+    def __str__(self) -> str:
+        if 0 <= self.value <= 9:
+            return str(self.value)
+        return hex(self.value)
+
+
+@dataclass(frozen=True)
+class MemoryOperand:
+    """A memory operand of the form ``[base + index + displacement]``.
+
+    Generated programs always use the sandbox base register as ``base`` so
+    that every access lands inside the memory sandbox once the index has
+    been masked.  ``size`` is the access width in bytes (1, 2, 4 or 8).
+    """
+
+    base: str = SANDBOX_BASE_REGISTER
+    index: str | None = None
+    displacement: int = 0
+    size: int = 8
+
+    def __post_init__(self) -> None:
+        if self.base not in GPR_NAMES:
+            raise ValueError(f"unknown base register: {self.base}")
+        if self.index is not None and self.index not in GPR_NAMES:
+            raise ValueError(f"unknown index register: {self.index}")
+        if self.size not in (1, 2, 4, 8):
+            raise ValueError(f"unsupported access size: {self.size}")
+
+    def __str__(self) -> str:
+        parts = [self.base.upper()]
+        if self.index is not None:
+            parts.append(self.index.upper())
+        if self.displacement:
+            parts.append(hex(self.displacement))
+        ptr = {1: "byte", 2: "word", 4: "dword", 8: "qword"}[self.size]
+        return f"{ptr} ptr [{' + '.join(parts)}]"
+
+
+@dataclass(frozen=True)
+class Label:
+    """A control-flow target referring to a basic block by name."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f".{self.name}"
+
+
+Operand = Register | Immediate | MemoryOperand | Label

@@ -1,0 +1,228 @@
+"""Register file and architectural state definitions.
+
+The register set mirrors the subset of x86-64 that Revizor-generated test
+programs use: six general-purpose registers initialised from the test input
+(``rax`` .. ``rdi``), a handful of scratch registers, and ``r14`` which always
+holds the base address of the memory sandbox (and is therefore never
+randomised or overwritten by generated programs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping
+
+MASK64 = (1 << 64) - 1
+
+#: All general purpose registers known to the ISA.
+GPR_NAMES = (
+    "rax",
+    "rbx",
+    "rcx",
+    "rdx",
+    "rsi",
+    "rdi",
+    "r8",
+    "r9",
+    "r10",
+    "r11",
+    "r12",
+    "r13",
+    "r14",
+    "r15",
+)
+
+#: Registers initialised from the test-case input (the "input registers").
+INPUT_REGISTERS = ("rax", "rbx", "rcx", "rdx", "rsi", "rdi")
+
+#: Registers the generator may freely use as temporaries.
+SCRATCH_REGISTERS = ("r8", "r9", "r10", "r11", "r12", "r13")
+
+#: Register that always holds the sandbox base address.
+SANDBOX_BASE_REGISTER = "r14"
+
+#: Status flags modelled by the ISA.
+FLAG_NAMES = ("zf", "sf", "cf", "of", "pf")
+
+
+class RegisterFile:
+    """A mutable map of register names to 64-bit unsigned values.
+
+    Values are always stored masked to 64 bits, which keeps the functional
+    emulator and the out-of-order simulator bit-identical without every
+    caller having to remember to apply :data:`MASK64`.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, initial: Mapping[str, int] | None = None) -> None:
+        self._values: Dict[str, int] = {name: 0 for name in GPR_NAMES}
+        if initial:
+            for name, value in initial.items():
+                self.write(name, value)
+
+    def read(self, name: str) -> int:
+        """Return the 64-bit value of register ``name``."""
+        return self._values[name]
+
+    def write(self, name: str, value: int) -> None:
+        """Write ``value`` (masked to 64 bits) into register ``name``."""
+        if name not in self._values:
+            raise KeyError(f"unknown register: {name}")
+        self._values[name] = value & MASK64
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return a copy of the register contents."""
+        return dict(self._values)
+
+    def copy(self) -> "RegisterFile":
+        """Return an independent copy of this register file."""
+        clone = RegisterFile()
+        clone._values = dict(self._values)
+        return clone
+
+    def load_from(self, values: Mapping[str, int]) -> None:
+        """Overwrite registers named in ``values``; others are untouched."""
+        for name, value in values.items():
+            self.write(name, value)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RegisterFile):
+            return NotImplemented
+        return self._values == other._values
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        interesting = {n: v for n, v in self._values.items() if v}
+        return f"RegisterFile({interesting})"
+
+
+@dataclass
+class FlagsState:
+    """The five status flags used by conditional instructions."""
+
+    zf: bool = False
+    sf: bool = False
+    cf: bool = False
+    of: bool = False
+    pf: bool = False
+
+    def as_dict(self) -> Dict[str, bool]:
+        return {name: getattr(self, name) for name in FLAG_NAMES}
+
+    def update(self, new_flags: Mapping[str, bool]) -> None:
+        for name, value in new_flags.items():
+            if name not in FLAG_NAMES:
+                raise KeyError(f"unknown flag: {name}")
+            setattr(self, name, bool(value))
+
+    def copy(self) -> "FlagsState":
+        return FlagsState(**self.as_dict())
+
+
+class SparseMemory:
+    """Byte-addressable memory backed by a dictionary.
+
+    Unwritten bytes read as zero.  The functional emulator uses this for
+    everything outside the sandbox; the sandbox itself is a dense
+    ``bytearray`` owned by :class:`ArchState` for speed.
+    """
+
+    __slots__ = ("_bytes",)
+
+    def __init__(self) -> None:
+        self._bytes: Dict[int, int] = {}
+
+    def read(self, address: int, size: int) -> int:
+        value = 0
+        for offset in range(size):
+            value |= self._bytes.get(address + offset, 0) << (8 * offset)
+        return value
+
+    def write(self, address: int, size: int, value: int) -> None:
+        for offset in range(size):
+            self._bytes[address + offset] = (value >> (8 * offset)) & 0xFF
+
+    def copy(self) -> "SparseMemory":
+        clone = SparseMemory()
+        clone._bytes = dict(self._bytes)
+        return clone
+
+
+@dataclass
+class ArchState:
+    """Complete architectural state: registers, flags, and memory.
+
+    ``sandbox_base``/``sandbox_size`` delimit a dense region (the test-case
+    memory sandbox); accesses inside it use the ``sandbox`` bytearray, while
+    accesses outside fall back to a sparse dictionary.  Generated programs
+    only ever touch the sandbox, but priming code and hand-written litmus
+    tests may touch other addresses.
+    """
+
+    registers: RegisterFile = field(default_factory=RegisterFile)
+    flags: FlagsState = field(default_factory=FlagsState)
+    sandbox_base: int = 0x100000
+    sandbox_size: int = 4096
+    sandbox: bytearray = field(default_factory=lambda: bytearray(4096))
+    outside: SparseMemory = field(default_factory=SparseMemory)
+
+    def __post_init__(self) -> None:
+        if len(self.sandbox) != self.sandbox_size:
+            self.sandbox = bytearray(self.sandbox_size)
+        self.registers.write(SANDBOX_BASE_REGISTER, self.sandbox_base)
+
+    # -- memory helpers ----------------------------------------------------
+    def in_sandbox(self, address: int, size: int = 1) -> bool:
+        return (
+            self.sandbox_base <= address
+            and address + size <= self.sandbox_base + self.sandbox_size
+        )
+
+    def read_memory(self, address: int, size: int) -> int:
+        if self.in_sandbox(address, size):
+            offset = address - self.sandbox_base
+            return int.from_bytes(self.sandbox[offset : offset + size], "little")
+        return self.outside.read(address, size)
+
+    def write_memory(self, address: int, size: int, value: int) -> None:
+        value &= (1 << (8 * size)) - 1
+        if self.in_sandbox(address, size):
+            offset = address - self.sandbox_base
+            self.sandbox[offset : offset + size] = value.to_bytes(size, "little")
+        else:
+            self.outside.write(address, size, value)
+
+    # -- lifecycle ----------------------------------------------------------
+    def copy(self) -> "ArchState":
+        clone = ArchState(
+            registers=self.registers.copy(),
+            flags=self.flags.copy(),
+            sandbox_base=self.sandbox_base,
+            sandbox_size=self.sandbox_size,
+            sandbox=bytearray(self.sandbox),
+        )
+        clone.outside = self.outside.copy()
+        return clone
+
+    def load_input(
+        self,
+        register_values: Mapping[str, int],
+        sandbox_bytes: bytes | bytearray,
+    ) -> None:
+        """Initialise registers and sandbox memory from a test input."""
+        self.registers.load_from(register_values)
+        self.registers.write(SANDBOX_BASE_REGISTER, self.sandbox_base)
+        data = bytes(sandbox_bytes)
+        if len(data) > self.sandbox_size:
+            raise ValueError(
+                f"input memory ({len(data)} bytes) larger than sandbox "
+                f"({self.sandbox_size} bytes)"
+            )
+        self.sandbox[: len(data)] = data
+        for index in range(len(data), self.sandbox_size):
+            self.sandbox[index] = 0
+
+    def iter_sandbox_words(self, word_size: int = 8) -> Iterable[int]:
+        """Yield the sandbox contents as little-endian words."""
+        for offset in range(0, self.sandbox_size, word_size):
+            yield int.from_bytes(self.sandbox[offset : offset + word_size], "little")

@@ -1,0 +1,21 @@
+"""Directed litmus tests for every leak the paper reports.
+
+Random fuzzing finds these leaks statistically; the litmus suite pins each
+one down deterministically with a hand-written gadget and a specific pair of
+inputs, mirroring the example programs shown in the paper (Figures 4, 6, 8, 9
+and Tables 7, 9, 10).  The suite serves three purposes: integration tests
+(every vulnerability must be detectable, and must disappear in the patched
+variant where the paper says it does), runnable examples, and the case-study
+benchmarks that regenerate the paper's walkthrough tables.
+"""
+
+from repro.litmus.cases import LitmusCase, all_cases, get_case
+from repro.litmus.runner import LitmusOutcome, run_case
+
+__all__ = [
+    "LitmusCase",
+    "all_cases",
+    "get_case",
+    "LitmusOutcome",
+    "run_case",
+]

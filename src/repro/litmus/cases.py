@@ -1,0 +1,330 @@
+"""Litmus case definitions: program + input pair + configuration + expectation.
+
+Each :class:`LitmusCase` corresponds to one of the vulnerabilities the paper
+reports (or to a classic Spectre variant used against the baseline CPU) and
+records everything needed to reproduce it deterministically: the gadget
+program, the two inputs that witness the leak, the defense and its bug
+configuration, the contract, the micro-architectural configuration
+(including amplification where the paper needed it) and the expected result
+for both the original and the patched defense variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.executor.executor import PrimeStrategy
+from repro.executor.traces import (
+    BASELINE_TRACE,
+    L1D_ONLY_TRACE,
+    L1I_EXTENDED_TRACE,
+    TraceConfig,
+)
+from repro.generator.inputs import Input
+from repro.generator.sandbox import Sandbox
+from repro.isa.program import Program
+from repro.isa.registers import INPUT_REGISTERS
+from repro.litmus import programs
+from repro.uarch.config import UarchConfig
+
+InputsFactory = Callable[[Sandbox], Tuple[Input, Input]]
+ProgramFactory = Callable[[Sandbox], Program]
+
+
+def make_input(
+    sandbox: Sandbox,
+    registers: Optional[Dict[str, int]] = None,
+    memory_words: Optional[Dict[int, int]] = None,
+) -> Input:
+    """Build an input with explicit register values and 8-byte memory pokes."""
+    register_values = {name: 0 for name in INPUT_REGISTERS}
+    if registers:
+        register_values.update(registers)
+    memory = bytearray(sandbox.size)
+    for offset, value in (memory_words or {}).items():
+        memory[offset : offset + 8] = (value & ((1 << 64) - 1)).to_bytes(8, "little")
+    return Input.create(register_values, bytes(memory))
+
+
+@dataclass(frozen=True)
+class LitmusCase:
+    """A directed reproduction of one reported vulnerability."""
+
+    name: str
+    vulnerability: str
+    description: str
+    defense: str
+    contract: str
+    program_factory: ProgramFactory
+    inputs_factory: InputsFactory
+    sandbox_pages: int = 1
+    trace_config: TraceConfig = BASELINE_TRACE
+    prime_strategy: Optional[PrimeStrategy] = None
+    uarch_config: UarchConfig = field(default_factory=UarchConfig)
+    #: Expected outcome with the defense's original (buggy) configuration.
+    expect_violation: bool = True
+    #: Expected outcome with the paper's patch applied (None = not applicable
+    #: or unchanged by the patch).
+    expect_violation_patched: Optional[bool] = None
+    #: Paper artefact this case reproduces (figure / table reference).
+    paper_reference: str = ""
+
+    def sandbox(self) -> Sandbox:
+        return Sandbox(pages=self.sandbox_pages)
+
+    def build(self) -> Tuple[Program, Input, Input]:
+        sandbox = self.sandbox()
+        program = self.program_factory(sandbox)
+        input_a, input_b = self.inputs_factory(sandbox)
+        return program, input_a, input_b
+
+
+# ---------------------------------------------------------------------------
+# input factories
+# ---------------------------------------------------------------------------
+
+def _spectre_v1_inputs(sandbox: Sandbox) -> Tuple[Input, Input]:
+    # rax != 0 takes the branch (mispredicted on first sight); rbx is the
+    # "secret" register encoded into the speculative load address.
+    a = make_input(sandbox, {"rax": 1, "rbx": 0x100})
+    b = make_input(sandbox, {"rax": 1, "rbx": 0x900})
+    return a, b
+
+
+def _spectre_v1_memory_inputs(sandbox: Sandbox) -> Tuple[Input, Input]:
+    # The secret lives in memory at offset 0x40 (only read speculatively);
+    # rsi and mem[0x180] drive the pointer-chased branch condition and are
+    # identical in both inputs.
+    common_registers = {"rbx": 0x40, "rsi": 0x180}
+    a = make_input(sandbox, dict(common_registers), {0x180: 0x208, 0x40: 0x200})
+    b = make_input(sandbox, dict(common_registers), {0x180: 0x208, 0x40: 0xA00})
+    return a, b
+
+
+def _spectre_v4_inputs(sandbox: Sandbox) -> Tuple[Input, Input]:
+    # mem[0x80] holds the (eventual) store address target 0x300, so the store
+    # and the younger load alias.  The *old* value at 0x300 differs between
+    # the inputs and is only ever visible to the bypassing load.
+    common = {"rsi": 0x80, "rcx": 0x300, "rdi": 0x11110}
+    a = make_input(sandbox, dict(common), {0x80: 0x300, 0x300: 0x400})
+    b = make_input(sandbox, dict(common), {0x80: 0x300, 0x300: 0xC00})
+    return a, b
+
+
+def _cleanupspec_store_inputs(sandbox: Sandbox) -> Tuple[Input, Input]:
+    # rbx (the speculative store's address) is the leaked value; the slow
+    # branch chain reads zeroed memory in both inputs.
+    a = make_input(sandbox, {"rbx": 0x140, "rdx": 7})
+    b = make_input(sandbox, {"rbx": 0x940, "rdx": 7})
+    return a, b
+
+
+def _cleanupspec_split_inputs(sandbox: Sandbox) -> Tuple[Input, Input]:
+    a = make_input(sandbox, {"rcx": 0x100})
+    b = make_input(sandbox, {"rcx": 0x800})
+    return a, b
+
+
+def _cleanupspec_too_much_cleaning_inputs(sandbox: Sandbox) -> Tuple[Input, Input]:
+    # The architectural (non-speculative) load goes to mem[0x100] & mask =
+    # 0x240 in both inputs; the transient load aliases with it in input A
+    # only.
+    memory = {0x100: 0x240}
+    a = make_input(sandbox, {"rbx": 0x100, "rsi": 0x180, "rcx": 0x240}, dict(memory))
+    b = make_input(sandbox, {"rbx": 0x100, "rsi": 0x180, "rcx": 0x640}, dict(memory))
+    return a, b
+
+
+def _cleanupspec_unxpec_inputs(sandbox: Sandbox) -> Tuple[Input, Input]:
+    # Input A's transient loads (at rcx and rcx+0x80) hit the lines the first
+    # two architectural loads already installed (offsets 0x100 and 0x180 — no
+    # cleanup work); input B's miss, so two cleanups delay the end of the
+    # test and instruction fetch runs further ahead.
+    a = make_input(sandbox, {"rbx": 0x100, "rsi": 0x180, "rcx": 0x100})
+    b = make_input(sandbox, {"rbx": 0x100, "rsi": 0x180, "rcx": 0x800})
+    return a, b
+
+
+def _invisispec_mshr_inputs(sandbox: Sandbox) -> Tuple[Input, Input]:
+    # The speculative loads' addresses derive from the architectural load's
+    # data: input A keeps them inside the (uncached) sandbox, so they occupy
+    # MSHRs for a full memory fill; input B points them at lines primed into
+    # the L1, so no MSHR is needed and the pending Expose can proceed.  The
+    # loaded value is non-zero in both inputs, so the branch direction (and
+    # hence the contract trace) is identical.
+    a = make_input(sandbox, {"rbx": 0x100}, {0x100: 0x800})
+    b = make_input(sandbox, {"rbx": 0x100}, {0x100: 0xF00000})
+    return a, b
+
+
+def _stt_store_tlb_inputs(sandbox: Sandbox) -> Tuple[Input, Input]:
+    # The speculatively loaded value (never read architecturally) selects the
+    # page the tainted store's TLB fill lands on; the pointer-chased branch
+    # condition is identical in both inputs.
+    common_registers = {"rcx": 0x40, "rdi": 5, "rsi": 0x180}
+    a = make_input(sandbox, dict(common_registers), {0x180: 0x208, 0x40: 0x9000})
+    b = make_input(sandbox, dict(common_registers), {0x180: 0x208, 0x40: 0xD000})
+    return a, b
+
+
+# ---------------------------------------------------------------------------
+# case registry
+# ---------------------------------------------------------------------------
+
+_STT_SANDBOX_PAGES = 128
+_STT_MASK = _STT_SANDBOX_PAGES * 4096 - 8
+
+_CASES: Tuple[LitmusCase, ...] = (
+    LitmusCase(
+        name="spectre_v1",
+        vulnerability="Spectre-v1",
+        description="Branch misprediction leaks a register via one speculative load.",
+        defense="baseline",
+        contract="CT-SEQ",
+        program_factory=lambda sandbox: programs.spectre_v1(sandbox.aligned_mask),
+        inputs_factory=_spectre_v1_inputs,
+        paper_reference="Section 4.2 (CT-SEQ violations on the baseline)",
+    ),
+    LitmusCase(
+        name="spectre_v1_memory",
+        vulnerability="Spectre-v1",
+        description="Classic two-load gadget: secret in memory, leaked via a dependent load.",
+        defense="baseline",
+        contract="CT-SEQ",
+        program_factory=lambda sandbox: programs.spectre_v1_memory(sandbox.aligned_mask),
+        inputs_factory=_spectre_v1_memory_inputs,
+        paper_reference="Section 4.2",
+    ),
+    LitmusCase(
+        name="spectre_v4",
+        vulnerability="Spectre-v4",
+        description="Speculative store bypass leaks the stale value of a memory location.",
+        defense="baseline",
+        contract="CT-COND",
+        program_factory=lambda sandbox: programs.spectre_v4(sandbox.aligned_mask),
+        inputs_factory=_spectre_v4_inputs,
+        paper_reference="Section 4.2 (CT-COND violations on the baseline)",
+    ),
+    LitmusCase(
+        name="invisispec_eviction",
+        vulnerability="UV1",
+        description="InvisiSpec bug: speculative load misses on a full set evict a line.",
+        defense="invisispec",
+        contract="CT-SEQ",
+        program_factory=lambda sandbox: programs.spectre_v1(sandbox.aligned_mask),
+        inputs_factory=_spectre_v1_inputs,
+        prime_strategy=PrimeStrategy.FILL,
+        expect_violation=True,
+        expect_violation_patched=False,
+        paper_reference="Figure 4 / Listings 1-2",
+    ),
+    LitmusCase(
+        name="invisispec_mshr_interference",
+        vulnerability="UV2",
+        description="Single-core speculative interference: MSHR contention delays an Expose.",
+        defense="invisispec",
+        contract="CT-SEQ",
+        program_factory=lambda sandbox: programs.invisispec_mshr_interference(
+            sandbox.aligned_mask
+        ),
+        inputs_factory=_invisispec_mshr_inputs,
+        prime_strategy=PrimeStrategy.FILL,
+        trace_config=L1D_ONLY_TRACE,
+        uarch_config=UarchConfig().with_amplification(l1d_ways=2, mshrs=2),
+        expect_violation=True,
+        expect_violation_patched=True,  # a design weakness, not fixed by the UV1 patch
+        paper_reference="Figure 6 / Table 7 (requires amplification, Table 6)",
+    ),
+    LitmusCase(
+        name="cleanupspec_store",
+        vulnerability="UV3",
+        description="CleanupSpec bug: speculative stores' cache installs are not cleaned.",
+        defense="cleanupspec",
+        contract="CT-SEQ",
+        program_factory=lambda sandbox: programs.cleanupspec_store(sandbox.aligned_mask),
+        inputs_factory=_cleanupspec_store_inputs,
+        expect_violation=True,
+        expect_violation_patched=False,
+        paper_reference="Listing 3 / Table 8",
+    ),
+    LitmusCase(
+        name="cleanupspec_split",
+        vulnerability="UV4",
+        description="CleanupSpec bug: split (line-crossing) requests are not cleaned.",
+        defense="cleanupspec",
+        contract="CT-SEQ",
+        program_factory=lambda sandbox: programs.cleanupspec_split(sandbox.aligned_mask),
+        inputs_factory=_cleanupspec_split_inputs,
+        expect_violation=True,
+        expect_violation_patched=True,  # the UV3 patch does not address split requests
+        paper_reference="Listing 4 / Table 8",
+    ),
+    LitmusCase(
+        name="cleanupspec_too_much_cleaning",
+        vulnerability="UV5",
+        description="CleanupSpec design flaw: cleanup erases an older non-speculative load's footprint.",
+        defense="cleanupspec",
+        contract="CT-SEQ",
+        program_factory=lambda sandbox: programs.cleanupspec_too_much_cleaning(
+            sandbox.aligned_mask
+        ),
+        inputs_factory=_cleanupspec_too_much_cleaning_inputs,
+        expect_violation=True,
+        expect_violation_patched=True,
+        paper_reference="Table 9",
+    ),
+    LitmusCase(
+        name="cleanupspec_unxpec",
+        vulnerability="KV2",
+        description="unXpec: cleanup latency changes fetch-ahead, visible in the L1I state.",
+        defense="cleanupspec",
+        contract="CT-SEQ",
+        program_factory=lambda sandbox: programs.cleanupspec_unxpec(sandbox.aligned_mask),
+        inputs_factory=_cleanupspec_unxpec_inputs,
+        trace_config=L1I_EXTENDED_TRACE,
+        expect_violation=True,
+        expect_violation_patched=True,
+        paper_reference="Table 10",
+    ),
+    LitmusCase(
+        name="stt_store_tlb",
+        vulnerability="KV3",
+        description="STT bug: a tainted speculative store fills the D-TLB.",
+        defense="stt",
+        contract="ARCH-SEQ",
+        program_factory=lambda sandbox: programs.stt_store_tlb(sandbox.size - 8),
+        inputs_factory=_stt_store_tlb_inputs,
+        sandbox_pages=_STT_SANDBOX_PAGES,
+        prime_strategy=PrimeStrategy.FILL,
+        expect_violation=True,
+        expect_violation_patched=False,
+        paper_reference="Figure 9",
+    ),
+    LitmusCase(
+        name="speclfb_first_load",
+        vulnerability="UV6",
+        description="SpecLFB bug: the first speculative load in the LSQ is not protected.",
+        defense="speclfb",
+        contract="CT-SEQ",
+        program_factory=lambda sandbox: programs.spectre_v1(sandbox.aligned_mask),
+        inputs_factory=_spectre_v1_inputs,
+        expect_violation=True,
+        expect_violation_patched=False,
+        paper_reference="Figure 8",
+    ),
+)
+
+_BY_NAME: Dict[str, LitmusCase] = {case.name: case for case in _CASES}
+
+
+def all_cases() -> Tuple[LitmusCase, ...]:
+    """Every litmus case, in a stable order."""
+    return _CASES
+
+
+def get_case(name: str) -> LitmusCase:
+    if name not in _BY_NAME:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown litmus case {name!r}; known cases: {known}")
+    return _BY_NAME[name]

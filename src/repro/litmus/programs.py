@@ -1,0 +1,354 @@
+"""Hand-written gadget programs used by the litmus suite.
+
+Each builder returns a :class:`~repro.isa.program.Program` whose structure
+mirrors the corresponding example in the paper.  The builders only encode
+*programs*; the accompanying input pairs live in :mod:`repro.litmus.cases`.
+
+Naming conventions used throughout:
+
+* ``r14`` is the sandbox base (never written);
+* input registers carry attacker-controlled values;
+* every memory index is masked with an ``AND`` first, like generated tests.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.operands import Immediate, Label, MemoryOperand, Register
+from repro.isa.program import BasicBlock, Program
+
+
+def _and_imm(register: str, mask: int) -> Instruction:
+    return Instruction(Opcode.AND, (Register(register), Immediate(mask)))
+
+
+def _load(dest: str, index: str, displacement: int = 0, size: int = 8) -> Instruction:
+    return Instruction(
+        Opcode.MOV,
+        (Register(dest), MemoryOperand(index=index, displacement=displacement, size=size)),
+    )
+
+
+def _store(index: str, source: str, displacement: int = 0, size: int = 8) -> Instruction:
+    return Instruction(
+        Opcode.MOV,
+        (MemoryOperand(index=index, displacement=displacement, size=size), Register(source)),
+    )
+
+
+def _cmp_imm(register: str, value: int) -> Instruction:
+    return Instruction(Opcode.CMP, (Register(register), Immediate(value)))
+
+
+def _jcc(condition: str, target: str) -> Instruction:
+    return Instruction(Opcode.JCC, (Label(target),), condition=condition)
+
+
+def _jmp(target: str) -> Instruction:
+    return Instruction(Opcode.JMP, (Label(target),))
+
+
+def _exit_block() -> BasicBlock:
+    return BasicBlock("bb_main.exit", [], Instruction(Opcode.EXIT))
+
+
+def spectre_v1(sandbox_mask: int = 0xFF8) -> Program:
+    """Branch misprediction leaking a register through one speculative load.
+
+    The architectural path takes the branch; the mispredicted (fall-through)
+    path performs a load whose address is derived from ``rbx`` — a register
+    the contract never exposes for these inputs — installing a cache line
+    that encodes ``rbx``.  This is also the single-load gadget that breaks
+    SpecLFB's first-speculative-load optimisation (UV6, Figure 8).
+    """
+    blocks = [
+        BasicBlock(
+            "bb_main.0",
+            [
+                _cmp_imm("rax", 0),
+                _jcc("nz", "bb_main.2"),
+            ],
+            _jmp("bb_main.1"),
+        ),
+        BasicBlock(
+            "bb_main.1",
+            [
+                _and_imm("rbx", sandbox_mask),
+                _load("rcx", "rbx"),
+            ],
+            _jmp("bb_main.exit"),
+        ),
+        BasicBlock("bb_main.2", [], _jmp("bb_main.exit")),
+        _exit_block(),
+    ]
+    return Program(blocks, name="spectre_v1")
+
+
+def spectre_v1_memory(sandbox_mask: int = 0xFF8) -> Program:
+    """The classic two-load Spectre-v1 gadget (secret in memory).
+
+    The mispredicted path loads a secret from memory and encodes it in the
+    address of a second, dependent load.  The branch condition is fed by a
+    pointer-chased pair of loads so the speculative window is long enough for
+    the dependent load (which waits for the secret's cache fill) to issue.
+    STT blocks the second (tainted) load; the insecure baseline leaks it.
+    """
+    wrong_path = [
+        _and_imm("rbx", sandbox_mask),
+        _load("rcx", "rbx"),          # access: read the secret
+        _and_imm("rcx", sandbox_mask),
+        _load("rdx", "rcx"),          # transmit: encode it in an address
+    ]
+    return _slow_branch_program("spectre_v1_memory", wrong_path, sandbox_mask)
+
+
+def spectre_v4(sandbox_mask: int = 0xFF8) -> Program:
+    """Speculative store bypass leaking the stale value of a memory location.
+
+    The store's address depends on a slow load, so the younger load to the
+    same location executes first (memory-dependence speculation), reads the
+    *old* value, and a dependent load encodes that stale value in the cache.
+    The victim location is touched architecturally first so the bypassing
+    load hits the cache and its dependent (leaking) load issues well before
+    the store resolves and triggers the squash.
+    """
+    blocks = [
+        BasicBlock(
+            "bb_main.0",
+            [
+                _and_imm("rcx", sandbox_mask),
+                _load("r9", "rcx"),           # warm the victim line
+                _and_imm("rsi", sandbox_mask),
+                _load("rdx", "rsi"),          # slow load producing the store address
+                _and_imm("rdx", sandbox_mask),
+                _store("rdx", "rdi"),         # store, address resolves late
+                _load("rax", "rcx"),          # younger load: bypasses the store
+                _and_imm("rax", sandbox_mask),
+                _load("rbx", "rax"),          # dependent load leaks the stale value
+            ],
+            _jmp("bb_main.exit"),
+        ),
+        _exit_block(),
+    ]
+    return Program(blocks, name="spectre_v4")
+
+
+def _slow_branch_program(name: str, wrong_path, sandbox_mask: int) -> Program:
+    """A mispredicted branch whose condition resolves late (long window).
+
+    The branch condition depends on a pointer-chased pair of loads, so the
+    speculative window is hundreds of cycles and everything on the wrong
+    path executes before the squash.
+    """
+    blocks = [
+        BasicBlock(
+            "bb_main.0",
+            [
+                _and_imm("rsi", sandbox_mask),
+                _load("rdi", "rsi"),          # slow load
+                _and_imm("rdi", sandbox_mask),
+                _load("r8", "rdi"),           # pointer chase: doubles the delay
+                _cmp_imm("r8", 1),
+                _jcc("nz", "bb_main.2"),
+            ],
+            _jmp("bb_main.1"),
+        ),
+        BasicBlock("bb_main.1", list(wrong_path), _jmp("bb_main.exit")),
+        BasicBlock("bb_main.2", [], _jmp("bb_main.exit")),
+        _exit_block(),
+    ]
+    return Program(blocks, name=name)
+
+
+def cleanupspec_store(sandbox_mask: int = 0xFF8) -> Program:
+    """UV3: a squashed speculative store whose cache install is never cleaned."""
+    wrong_path = [
+        _and_imm("rbx", sandbox_mask),
+        _store("rbx", "rdx"),
+    ]
+    return _slow_branch_program("cleanupspec_store", wrong_path, sandbox_mask)
+
+
+def cleanupspec_split(sandbox_mask: int = 0xFF8) -> Program:
+    """UV4: a squashed speculative split (line-crossing) load; the second
+    line of the split request is never cleaned."""
+    wrong_path = [
+        _and_imm("rcx", sandbox_mask & ~0x3F),
+        _load("r9", "rcx", displacement=60),  # 8-byte access 4 bytes before a line end
+    ]
+    return _slow_branch_program("cleanupspec_split", wrong_path, sandbox_mask)
+
+
+def invisispec_mshr_interference(sandbox_mask: int = 0xFF8) -> Program:
+    """UV2: same-core speculative interference through MSHR contention.
+
+    An architectural load (whose Expose must eventually install its line) is
+    followed by a mispredicted branch whose wrong path issues two speculative
+    loads at addresses derived from the architectural load's data.  If those
+    addresses miss (input A) they occupy the MSHRs for the full memory
+    latency, stalling the Expose past the end of the test; if they hit lines
+    primed into the L1 (input B) no MSHR is needed and the Expose completes.
+
+    The branch condition also depends on the architectural load's data, so
+    the speculative loads issue (and grab the MSHRs) in the cycle the load
+    completes, a few cycles before the branch resolves and squashes them.
+    """
+    blocks = [
+        BasicBlock(
+            "bb_main.0",
+            [
+                _and_imm("rbx", sandbox_mask),
+                _load("rdx", "rbx"),          # NSL: needs an Expose at commit
+                _cmp_imm("rdx", 0),
+                _jcc("nz", "bb_main.2"),
+            ],
+            _jmp("bb_main.1"),
+        ),
+        BasicBlock(
+            "bb_main.1",
+            [
+                # The speculative loads use the NSL's data directly (no extra
+                # masking instruction) so they issue in the very cycle the NSL
+                # completes and grab the MSHRs before the NSL's Expose is
+                # processed.  The litmus inputs control where they point.
+                _load("r9", "rdx"),                      # SL1: depends on NSL data
+                _load("r10", "rdx", displacement=2048),  # SL2: second MSHR
+            ],
+            _jmp("bb_main.exit"),
+        ),
+        BasicBlock("bb_main.2", [], _jmp("bb_main.exit")),
+        _exit_block(),
+    ]
+    return Program(blocks, name="invisispec_mshr_interference")
+
+
+def cleanupspec_too_much_cleaning(sandbox_mask: int = 0xFF8) -> Program:
+    """UV5: cleanup erases the footprint of an older non-speculative load.
+
+    Program order: a non-speculative load NSL with a slow address chain, a
+    branch whose condition resolves even later, and a fast speculative load
+    SL on the wrong path.  Execution order: SL installs a line, NSL hits that
+    same line (input A) or a different one (input B), the branch resolves,
+    and cleanup invalidates the SL's line — taking the NSL's footprint with
+    it in input A.
+    """
+    blocks = [
+        BasicBlock(
+            "bb_main.0",
+            [
+                _and_imm("rbx", sandbox_mask),
+                _load("rdx", "rbx"),          # slow load #1 -> NSL address
+                _and_imm("rsi", sandbox_mask),
+                _load("rdi", "rsi"),          # slow load #2 ...
+                _and_imm("rdi", sandbox_mask),
+                _load("r8", "rdi"),           # ... pointer chase -> branch flags
+                _and_imm("rdx", sandbox_mask),
+                _load("r10", "rdx"),          # NSL (older than the branch)
+                _cmp_imm("r8", 1),
+                _jcc("nz", "bb_main.2"),
+            ],
+            _jmp("bb_main.1"),
+        ),
+        BasicBlock(
+            "bb_main.1",
+            [
+                _and_imm("rcx", sandbox_mask),
+                _load("r9", "rcx"),           # SL: fast, transient
+            ],
+            _jmp("bb_main.exit"),
+        ),
+        BasicBlock("bb_main.2", [], _jmp("bb_main.exit")),
+        _exit_block(),
+    ]
+    return Program(blocks, name="cleanupspec_too_much_cleaning")
+
+
+def cleanupspec_unxpec(sandbox_mask: int = 0xFF8) -> Program:
+    """KV2 (unXpec): cleanup latency changes instruction-fetch-ahead.
+
+    The wrong path contains a speculative load whose address either hits a
+    line already brought in architecturally (no cleanup needed) or misses
+    (installs a line that must be cleaned on the squash).  Cleanup sits on
+    the commit path, so the test ends later and instruction fetch runs
+    further ahead, which an L1I snapshot reveals.
+
+    The wrong path is padded with NOPs so the reorder buffer fills up before
+    the front end reaches the EXIT instruction; fetch-ahead past the end of
+    the test therefore only happens *after* the squash, where the cleanup
+    delay is visible.
+    """
+    filler = [Instruction(Opcode.NOP) for _ in range(72)]
+    # Architectural loads at fixed offsets warm a set of lines that input A's
+    # transient loads can hit (so input A needs no cleanup at all).
+    warm_loads = [
+        Instruction(
+            Opcode.MOV,
+            (Register(register), MemoryOperand(index=None, displacement=offset)),
+        )
+        for register, offset in (
+            ("r11", 0x200),
+            ("r12", 0x280),
+            ("r13", 0x300),
+            ("r9", 0x380),
+        )
+    ]
+    blocks = [
+        BasicBlock(
+            "bb_main.0",
+            [
+                _and_imm("rbx", sandbox_mask),
+                _load("rdx", "rbx"),          # architectural load (also delays branch)
+                _and_imm("rsi", sandbox_mask),
+                _load("rdi", "rsi"),
+            ]
+            + warm_loads
+            + [
+                _and_imm("rdi", sandbox_mask),
+                _load("r8", "rdi"),           # pointer chase -> branch flags
+                _cmp_imm("r8", 1),
+                _jcc("nz", "bb_main.2"),
+            ],
+            _jmp("bb_main.1"),
+        ),
+        BasicBlock(
+            "bb_main.1",
+            [
+                # Six transient loads: in input A they hit the lines already
+                # warmed by the architectural loads (no cleanup work); in
+                # input B they all miss and each needs a cleanup on the
+                # squash, delaying the end of the test by far more than the
+                # post-squash refetch path.
+                _and_imm("rcx", sandbox_mask),
+                _load("r9", "rcx"),
+                _load("r10", "rcx", displacement=0x80),
+                _load("r11", "rcx", displacement=0x100),
+                _load("r12", "rcx", displacement=0x180),
+                _load("r13", "rcx", displacement=0x200),
+                _load("r9", "rcx", displacement=0x280),
+            ]
+            + filler,
+            _jmp("bb_main.exit"),
+        ),
+        BasicBlock("bb_main.2", [], _jmp("bb_main.exit")),
+        _exit_block(),
+    ]
+    return Program(blocks, name="cleanupspec_unxpec")
+
+
+def stt_store_tlb(sandbox_mask: int) -> Program:
+    """KV3: a tainted speculative store fills the D-TLB (Figure 9).
+
+    On the mispredicted path a load reads speculative data and a store's
+    address is computed from it.  STT blocks the store from touching the
+    cache, but the buggy implementation still performs the TLB access,
+    leaving a page-number footprint of the speculatively accessed data.  The
+    branch condition is pointer-chased so the speculative window outlasts the
+    tainted load's cache fill.
+    """
+    wrong_path = [
+        _and_imm("rcx", sandbox_mask),
+        _load("rbx", "rcx"),          # access: speculative (tainted) data
+        _and_imm("rbx", sandbox_mask),
+        _store("rbx", "rdi"),         # transmit: tainted store -> TLB fill
+    ]
+    return _slow_branch_program("stt_store_tlb", wrong_path, sandbox_mask)

@@ -1,0 +1,38 @@
+"""The leakage model: contracts and the functional (contract) emulator.
+
+A leakage contract describes, at the ISA level, what information a CPU is
+*expected* to leak for a given program and input (Guarnieri et al.).  The
+leakage model is an executable version of a contract: it runs the test
+program on a functional emulator, records the observations named by the
+contract's observation clause, and explores the extra execution paths named
+by its execution clause (e.g. mispredicted branches for ``CT-COND``).
+
+The emulator additionally performs dynamic taint tracking so that the fuzzer
+can tell *which input locations influence the contract trace*; this powers
+the contract-preserving input mutation ("boosting") that makes relational
+testing effective.
+"""
+
+from repro.model.contracts import (
+    ARCH_SEQ,
+    CT_COND,
+    CT_SEQ,
+    Contract,
+    get_contract,
+    list_contracts,
+)
+from repro.model.emulator import ContractTrace, Emulator, ModelResult
+from repro.model.taint import TaintState
+
+__all__ = [
+    "ARCH_SEQ",
+    "CT_COND",
+    "CT_SEQ",
+    "Contract",
+    "get_contract",
+    "list_contracts",
+    "ContractTrace",
+    "Emulator",
+    "ModelResult",
+    "TaintState",
+]

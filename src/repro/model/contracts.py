@@ -1,0 +1,89 @@
+"""Leakage contract definitions (Table 1 of the paper).
+
+A contract is described by an *observation clause* (what each instruction
+exposes) and an *execution clause* (whether and how instructions trigger
+speculative exploration in the model).  The three contracts used in the
+paper's evaluation are provided, plus ``ARCH-COND`` which is occasionally
+useful when filtering violations (e.g. validating SpecLFB's UV6 by exposing
+register values on speculative paths is approximated by ``ARCH-SEQ``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Contract:
+    """An executable description of expected leakage.
+
+    Observation clause:
+        ``expose_pc``             -- program counter of every executed instruction
+        ``expose_memory_address`` -- effective address of every load and store
+        ``expose_load_values``    -- values returned by loads
+
+    Execution clause:
+        ``speculate_branches``    -- also explore the mispredicted direction of
+                                     every conditional branch (bounded by
+                                     ``speculation_window`` instructions and
+                                     ``max_nesting`` levels of nesting)
+    """
+
+    name: str
+    expose_pc: bool = True
+    expose_memory_address: bool = True
+    expose_load_values: bool = False
+    speculate_branches: bool = False
+    speculation_window: int = 32
+    max_nesting: int = 1
+
+    def observation_clause(self) -> Tuple[str, ...]:
+        clause = []
+        if self.expose_pc:
+            clause.append("PC")
+        if self.expose_memory_address:
+            clause.append("LD/ST ADDR")
+        if self.expose_load_values:
+            clause.append("LD VALUES")
+        return tuple(clause)
+
+    def execution_clause(self) -> str:
+        return "Mispredicted Branches" if self.speculate_branches else "N/A"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Leakage expected of a CPU with cache side channels and no speculation.
+CT_SEQ = Contract(name="CT-SEQ")
+
+#: Leakage expected of a CPU that additionally has branch prediction.
+CT_COND = Contract(name="CT-COND", speculate_branches=True)
+
+#: CT-SEQ plus the values of all loads on architectural paths (used for STT).
+ARCH_SEQ = Contract(name="ARCH-SEQ", expose_load_values=True)
+
+#: ARCH-SEQ with mispredicted branches also explored.  Not used in the paper's
+#: headline campaigns but handy for filtering violations that are sanctioned
+#: once speculative register leakage is declared expected (cf. Section 4.7).
+ARCH_COND = Contract(
+    name="ARCH-COND", expose_load_values=True, speculate_branches=True
+)
+
+_REGISTRY: Dict[str, Contract] = {
+    contract.name: contract for contract in (CT_SEQ, CT_COND, ARCH_SEQ, ARCH_COND)
+}
+
+
+def get_contract(name: str) -> Contract:
+    """Look up a contract by name (case-insensitive, ``_``/``-`` agnostic)."""
+    key = name.upper().replace("_", "-")
+    if key not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown contract {name!r}; known contracts: {known}")
+    return _REGISTRY[key]
+
+
+def list_contracts() -> Tuple[Contract, ...]:
+    return tuple(_REGISTRY.values())

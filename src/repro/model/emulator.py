@@ -1,0 +1,365 @@
+"""The functional contract emulator (this repository's Unicorn substitute).
+
+The emulator executes a test program architecturally, records the
+observations required by a leakage contract's observation clause, explores
+the additional paths required by its execution clause (mispredicted
+conditional branches for ``CT-COND``-style contracts), and simultaneously
+tracks which input locations influence the resulting contract trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.generator.inputs import Input, TaintLabel
+from repro.generator.sandbox import Sandbox
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+from repro.isa.registers import ArchState
+from repro.isa.semantics import ExecutionEffect, condition_holds, execute_on_state
+from repro.model.contracts import Contract
+from repro.model.taint import TaintState
+
+#: Safety bound on the number of executed instructions (generated programs
+#: are forward DAGs and therefore cannot loop, but hand-written litmus tests
+#: could; this bound turns an accidental infinite loop into an error).
+DEFAULT_INSTRUCTION_LIMIT = 50_000
+
+
+class EmulationError(RuntimeError):
+    """Raised when a program does not terminate within the instruction limit."""
+
+
+@dataclass(frozen=True)
+class ContractTrace:
+    """A contract trace: the sequence of ISA-level observations."""
+
+    observations: Tuple[Tuple, ...]
+
+    def __len__(self) -> int:
+        return len(self.observations)
+
+    def memory_addresses(self) -> Tuple[int, ...]:
+        return tuple(
+            entry[1] for entry in self.observations if entry[0] in ("load", "store")
+        )
+
+    def pcs(self) -> Tuple[int, ...]:
+        return tuple(entry[1] for entry in self.observations if entry[0] == "pc")
+
+    def __str__(self) -> str:
+        parts = []
+        for entry in self.observations:
+            kind, value = entry[0], entry[1]
+            if kind == "pc":
+                parts.append(f"pc:{value:#x}")
+            elif kind in ("load", "store"):
+                parts.append(f"{kind}:{value:#x}")
+            else:
+                parts.append(f"{kind}:{value:#x}")
+        return " ".join(parts)
+
+
+@dataclass
+class ModelResult:
+    """Everything the leakage model produces for one (program, input) pair."""
+
+    trace: ContractTrace
+    relevant_labels: Set[TaintLabel]
+    instruction_count: int
+    executed_pcs: Tuple[int, ...]
+    final_registers: Dict[str, int]
+    speculative_instruction_count: int = 0
+    architectural_accesses: Tuple[Tuple[str, int, int], ...] = field(
+        default_factory=tuple
+    )
+
+
+class _UndoLog:
+    """Undo log used to roll back speculative contract execution."""
+
+    def __init__(self, state: ArchState) -> None:
+        self.state = state
+        self.register_old: List[Tuple[str, int]] = []
+        self.flags_old = state.flags.as_dict()
+        self.memory_old: List[Tuple[int, int, int]] = []
+
+    def record_effect(self, effect: ExecutionEffect) -> None:
+        for name in effect.register_writes:
+            self.register_old.append((name, self.state.registers.read(name)))
+        if effect.memory_write is not None:
+            address, size, _ = effect.memory_write
+            self.memory_old.append((address, size, self.state.read_memory(address, size)))
+
+    def rollback(self) -> None:
+        for address, size, value in reversed(self.memory_old):
+            self.state.write_memory(address, size, value)
+        for name, value in reversed(self.register_old):
+            self.state.registers.write(name, value)
+        self.state.flags.update(self.flags_old)
+
+
+class Emulator:
+    """Executes a program against a contract, producing contract traces."""
+
+    def __init__(
+        self,
+        program: Program,
+        sandbox: Optional[Sandbox] = None,
+        instruction_limit: int = DEFAULT_INSTRUCTION_LIMIT,
+    ) -> None:
+        self.program = program
+        self.sandbox = sandbox or Sandbox()
+        self.instruction_limit = instruction_limit
+
+    # -- public API ---------------------------------------------------------
+    def run(self, test_input: Input, contract: Contract) -> ModelResult:
+        """Run ``test_input`` through the program under ``contract``."""
+        state = ArchState(
+            sandbox_base=self.sandbox.base,
+            sandbox_size=self.sandbox.size,
+            sandbox=bytearray(self.sandbox.size),
+        )
+        state.load_input(test_input.register_dict(), test_input.memory)
+        taint = TaintState(self.sandbox)
+
+        observations: List[Tuple] = []
+        executed_pcs: List[int] = []
+        accesses: List[Tuple[str, int, int]] = []
+        counters = {"architectural": 0, "speculative": 0}
+
+        self._run_architectural(
+            state=state,
+            taint=taint,
+            contract=contract,
+            observations=observations,
+            executed_pcs=executed_pcs,
+            accesses=accesses,
+            counters=counters,
+        )
+
+        return ModelResult(
+            trace=ContractTrace(tuple(observations)),
+            relevant_labels=taint.relevant_labels(),
+            instruction_count=counters["architectural"],
+            executed_pcs=tuple(executed_pcs),
+            final_registers=state.registers.as_dict(),
+            speculative_instruction_count=counters["speculative"],
+            architectural_accesses=tuple(accesses),
+        )
+
+    def contract_trace(self, test_input: Input, contract: Contract) -> ContractTrace:
+        """Convenience wrapper returning only the contract trace."""
+        return self.run(test_input, contract).trace
+
+    # -- execution ------------------------------------------------------------
+    def _run_architectural(
+        self,
+        state: ArchState,
+        taint: TaintState,
+        contract: Contract,
+        observations: List[Tuple],
+        executed_pcs: List[int],
+        accesses: List[Tuple[str, int, int]],
+        counters: Dict[str, int],
+    ) -> None:
+        """Execute the architectural path from the program entry until EXIT."""
+        pc: Optional[int] = self.program.entry_pc
+        while pc is not None:
+            instruction = self.program.instruction_at(pc)
+            if instruction is None or instruction.is_exit:
+                break
+            if counters["architectural"] >= self.instruction_limit:
+                raise EmulationError(
+                    f"program {self.program.name} exceeded the instruction limit "
+                    f"({self.instruction_limit})"
+                )
+
+            self._observe_and_taint(
+                instruction, state, taint, contract, observations, accesses, False
+            )
+
+            # Explore the mispredicted direction of conditional branches.
+            if (
+                instruction.is_cond_branch
+                and contract.speculate_branches
+                and contract.max_nesting > 0
+            ):
+                taken = condition_holds(instruction.condition, state.flags.as_dict())
+                wrong_pc = (
+                    instruction.fallthrough_pc if taken else instruction.target_pc
+                )
+                spec_undo = _UndoLog(state)
+                spec_taint_snapshot = taint.snapshot()
+                self._run_speculative(
+                    state,
+                    taint,
+                    contract,
+                    wrong_pc,
+                    observations,
+                    executed_pcs,
+                    accesses,
+                    counters,
+                    1,
+                    spec_undo,
+                )
+                spec_undo.rollback()
+                taint.restore(spec_taint_snapshot)
+
+            effect = execute_on_state(instruction, state)
+            self._propagate_taint(instruction, effect, taint)
+
+            executed_pcs.append(pc)
+            counters["architectural"] += 1
+            pc = effect.next_pc
+
+    def _run_speculative(
+        self,
+        state: ArchState,
+        taint: TaintState,
+        contract: Contract,
+        start_pc: Optional[int],
+        observations: List[Tuple],
+        executed_pcs: List[int],
+        accesses: List[Tuple[str, int, int]],
+        counters: Dict[str, int],
+        nesting: int,
+        undo: _UndoLog,
+    ) -> None:
+        """Run a bounded speculative path, recording undo information."""
+        if start_pc is None:
+            return
+        pc: Optional[int] = start_pc
+        executed = 0
+        while pc is not None and executed < contract.speculation_window:
+            instruction = self.program.instruction_at(pc)
+            if instruction is None or instruction.is_exit:
+                break
+            if instruction.opcode is Opcode.LFENCE:
+                break
+
+            self._observe_and_taint(
+                instruction, state, taint, contract, observations, accesses, True
+            )
+
+            if (
+                instruction.is_cond_branch
+                and contract.speculate_branches
+                and nesting < contract.max_nesting
+            ):
+                taken = condition_holds(instruction.condition, state.flags.as_dict())
+                wrong_pc = (
+                    instruction.fallthrough_pc if taken else instruction.target_pc
+                )
+                nested_undo = _UndoLog(state)
+                nested_snapshot = taint.snapshot()
+                self._run_speculative(
+                    state,
+                    taint,
+                    contract,
+                    wrong_pc,
+                    observations,
+                    executed_pcs,
+                    accesses,
+                    counters,
+                    nesting + 1,
+                    nested_undo,
+                )
+                nested_undo.rollback()
+                taint.restore(nested_snapshot)
+
+            # Record old values before applying so the caller can roll back.
+            effect = self._peek_effect(instruction, state)
+            undo.record_effect(effect)
+            self._apply_effect(effect, state)
+            self._propagate_taint(instruction, effect, taint)
+
+            counters["speculative"] += 1
+            executed += 1
+            pc = effect.next_pc
+
+    @staticmethod
+    def _peek_effect(instruction: Instruction, state: ArchState) -> ExecutionEffect:
+        from repro.isa.semantics import evaluate
+
+        return evaluate(
+            instruction,
+            state.registers.read,
+            state.flags.as_dict(),
+            state.read_memory,
+        )
+
+    @staticmethod
+    def _apply_effect(effect: ExecutionEffect, state: ArchState) -> None:
+        for name, value in effect.register_writes.items():
+            state.registers.write(name, value)
+        if effect.flag_writes:
+            state.flags.update(effect.flag_writes)
+        if effect.memory_write is not None:
+            address, size, value = effect.memory_write
+            state.write_memory(address, size, value)
+
+    # -- observation and taint --------------------------------------------------
+    def _observe_and_taint(
+        self,
+        instruction: Instruction,
+        state: ArchState,
+        taint: TaintState,
+        contract: Contract,
+        observations: List[Tuple],
+        accesses: List[Tuple[str, int, int]],
+        speculative: bool,
+    ) -> None:
+        from repro.isa.semantics import compute_effective_address
+
+        if contract.expose_pc:
+            observations.append(("pc", instruction.pc))
+            if instruction.is_cond_branch:
+                # The branch direction (and hence the PC sequence) depends on
+                # the flags, so the flags' input sources are contract-relevant.
+                taint.mark_relevant(taint.flag_taint)
+
+        memory_operand = instruction.memory_operand
+        if memory_operand is not None and instruction.is_memory_access:
+            address = compute_effective_address(memory_operand, state.registers.read)
+            address_taint = taint.registers(instruction.address_registers())
+            if contract.expose_memory_address:
+                if instruction.is_load:
+                    observations.append(("load", address))
+                if instruction.is_store:
+                    observations.append(("store", address))
+                taint.mark_relevant(address_taint)
+            if instruction.is_load and contract.expose_load_values:
+                value = state.read_memory(address, memory_operand.size)
+                observations.append(("val", value))
+                taint.mark_relevant(taint.memory(address, memory_operand.size))
+                taint.mark_relevant(address_taint)
+            if not speculative:
+                if instruction.is_load:
+                    accesses.append(("load", instruction.pc, address))
+                if instruction.is_store:
+                    accesses.append(("store", instruction.pc, address))
+
+    def _propagate_taint(
+        self,
+        instruction: Instruction,
+        effect: ExecutionEffect,
+        taint: TaintState,
+    ) -> None:
+        value_taint = taint.registers(instruction.source_registers())
+        if instruction.reads_flags:
+            value_taint |= taint.flag_taint
+        if effect.memory_read is not None:
+            address, size = effect.memory_read
+            value_taint |= taint.memory(address, size)
+            value_taint |= taint.registers(instruction.address_registers())
+
+        destination = instruction.destination_register()
+        if destination is not None:
+            taint.set_register(destination, value_taint)
+        if instruction.writes_flags:
+            taint.set_flags(value_taint)
+        if effect.memory_write is not None:
+            address, size, _ = effect.memory_write
+            taint.set_memory(address, size, value_taint)

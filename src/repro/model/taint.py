@@ -1,0 +1,118 @@
+"""Dynamic taint tracking over input locations.
+
+The taint domain is the set of *input locations*: the six input registers
+and each 8-byte granule of the memory sandbox.  The emulator propagates, for
+every architectural value, the set of input locations it (transitively)
+depends on.  Whenever the contract emits an observation, the taints of the
+values that determined that observation are added to the *contract-relevant*
+set.  Input boosting then randomises exactly the locations that are **not**
+contract-relevant, producing new inputs with identical contract traces.
+
+Over-approximating is safe (boosting just mutates less); under-approximation
+is caught later because the fuzzer re-checks the contract trace of every
+boosted input before using it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Set
+
+from repro.generator.inputs import (
+    TaintLabel,
+    memory_taint_label,
+    register_taint_label,
+)
+from repro.generator.sandbox import Sandbox
+from repro.isa.registers import GPR_NAMES, INPUT_REGISTERS, SANDBOX_BASE_REGISTER
+
+EMPTY: FrozenSet[TaintLabel] = frozenset()
+
+
+class TaintState:
+    """Tracks taint sets for registers, flags and sandbox memory granules."""
+
+    def __init__(self, sandbox: Sandbox) -> None:
+        self.sandbox = sandbox
+        self.register_taints: Dict[str, FrozenSet[TaintLabel]] = {
+            name: EMPTY for name in GPR_NAMES
+        }
+        for name in INPUT_REGISTERS:
+            self.register_taints[name] = frozenset({register_taint_label(name)})
+        # The sandbox base register is a constant and never carries taint.
+        self.register_taints[SANDBOX_BASE_REGISTER] = EMPTY
+        self.flag_taint: FrozenSet[TaintLabel] = EMPTY
+        #: taints of memory granules that have been overwritten; granules not
+        #: present still carry their initial self-taint.
+        self._memory_taints: Dict[int, FrozenSet[TaintLabel]] = {}
+        #: input locations that influence the contract trace.
+        self.relevant: Set[TaintLabel] = set()
+
+    # -- reads ---------------------------------------------------------------
+    def register(self, name: str) -> FrozenSet[TaintLabel]:
+        return self.register_taints.get(name, EMPTY)
+
+    def registers(self, names: Iterable[str]) -> FrozenSet[TaintLabel]:
+        result: FrozenSet[TaintLabel] = EMPTY
+        for name in names:
+            result |= self.register(name)
+        return result
+
+    def memory(self, address: int, size: int) -> FrozenSet[TaintLabel]:
+        """Taint of the memory bytes at ``address`` (sandbox-granule based)."""
+        if not self.sandbox.contains(address, 1):
+            return EMPTY
+        first = self.sandbox.offset_of(address)
+        last = min(first + max(size, 1) - 1, self.sandbox.size - 1)
+        result: FrozenSet[TaintLabel] = EMPTY
+        offset = (first // 8) * 8
+        while offset <= last:
+            label = memory_taint_label(offset)
+            result |= self._memory_taints.get(offset, frozenset({label}))
+            offset += 8
+        return result
+
+    # -- writes ----------------------------------------------------------------
+    def set_register(self, name: str, taint: FrozenSet[TaintLabel]) -> None:
+        if name == SANDBOX_BASE_REGISTER:
+            return
+        self.register_taints[name] = taint
+
+    def set_flags(self, taint: FrozenSet[TaintLabel]) -> None:
+        self.flag_taint = taint
+
+    def set_memory(self, address: int, size: int, taint: FrozenSet[TaintLabel]) -> None:
+        if not self.sandbox.contains(address, 1):
+            return
+        first = self.sandbox.offset_of(address)
+        last = min(first + max(size, 1) - 1, self.sandbox.size - 1)
+        offset = (first // 8) * 8
+        while offset <= last:
+            # A partial-granule store merges with what is already there.
+            existing = self._memory_taints.get(
+                offset, frozenset({memory_taint_label(offset)})
+            )
+            if size >= 8 and first <= offset and offset + 8 <= first + size:
+                self._memory_taints[offset] = taint
+            else:
+                self._memory_taints[offset] = existing | taint
+            offset += 8
+
+    # -- relevance ----------------------------------------------------------------
+    def mark_relevant(self, taint: Iterable[TaintLabel]) -> None:
+        self.relevant.update(taint)
+
+    def relevant_labels(self) -> Set[TaintLabel]:
+        return set(self.relevant)
+
+    # -- checkpointing (for speculative contract paths) -----------------------------
+    def snapshot(self) -> dict:
+        return {
+            "registers": dict(self.register_taints),
+            "flags": self.flag_taint,
+            "memory": dict(self._memory_taints),
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        self.register_taints = dict(snapshot["registers"])
+        self.flag_taint = snapshot["flags"]
+        self._memory_taints = dict(snapshot["memory"])

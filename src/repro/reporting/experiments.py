@@ -1,0 +1,147 @@
+"""Registry mapping every reproduced table/figure to its bench target.
+
+This is the machine-readable version of DESIGN.md's per-experiment index:
+each entry names the paper artefact, the workload it uses, the modules that
+implement it, and the benchmark file that regenerates it.  ``examples/
+experiment_index.py`` prints this registry, and the test suite checks that
+every referenced benchmark file actually exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproduced table or figure from the paper."""
+
+    identifier: str
+    title: str
+    workload: str
+    modules: Tuple[str, ...]
+    bench_target: str
+    notes: str = ""
+
+
+EXPERIMENTS: Tuple[Experiment, ...] = (
+    Experiment(
+        identifier="table2",
+        title="Per-test-program time breakdown, Naive vs Opt",
+        workload="baseline O3, small campaign, modeled gem5 time",
+        modules=("repro.executor.executor", "repro.executor.startup"),
+        bench_target="benchmarks/bench_table2_naive_vs_opt.py",
+        notes="Absolute seconds are modeled; the Naive=startup-dominated vs "
+        "Opt=simulation-dominated shape is the reproduced result.",
+    ),
+    Experiment(
+        identifier="table3",
+        title="Baseline O3 campaigns: Naive vs Opt, CT-SEQ vs CT-COND",
+        workload="baseline O3, scaled-down campaign per contract and mode",
+        modules=("repro.core.campaign", "repro.core.fuzzer"),
+        bench_target="benchmarks/bench_table3_baseline.py",
+    ),
+    Experiment(
+        identifier="table4",
+        title="Defense campaigns: detection, unique violations, throughput",
+        workload="baseline + 4 defenses, scaled-down campaigns",
+        modules=("repro.core.campaign", "repro.defenses"),
+        bench_target="benchmarks/bench_table4_defenses.py",
+    ),
+    Experiment(
+        identifier="table5",
+        title="Micro-architectural trace format comparison",
+        workload="baseline O3, four trace formats",
+        modules=("repro.executor.traces", "repro.core.campaign"),
+        bench_target="benchmarks/bench_table5_trace_formats.py",
+    ),
+    Experiment(
+        identifier="table6",
+        title="InvisiSpec (patched) with reduced structures (amplification)",
+        workload="patched InvisiSpec; default, 2-way L1D, 2-way+2-MSHR",
+        modules=("repro.core.amplification", "repro.defenses.invisispec"),
+        bench_target="benchmarks/bench_table6_amplification.py",
+    ),
+    Experiment(
+        identifier="table7_fig6",
+        title="UV2 MSHR-interference walkthrough",
+        workload="directed litmus invisispec_mshr_interference",
+        modules=("repro.litmus", "repro.defenses.invisispec"),
+        bench_target="benchmarks/bench_case_studies.py",
+    ),
+    Experiment(
+        identifier="table8",
+        title="CleanupSpec violation types, original vs patched",
+        workload="directed litmuses UV3/UV4/UV5 under both bug configurations",
+        modules=("repro.litmus", "repro.defenses.cleanupspec"),
+        bench_target="benchmarks/bench_table8_cleanupspec.py",
+    ),
+    Experiment(
+        identifier="table9",
+        title="UV5 too-much-cleaning walkthrough",
+        workload="directed litmus cleanupspec_too_much_cleaning",
+        modules=("repro.litmus",),
+        bench_target="benchmarks/bench_case_studies.py",
+    ),
+    Experiment(
+        identifier="table10",
+        title="KV2 unXpec walkthrough",
+        workload="directed litmus cleanupspec_unxpec (L1I trace)",
+        modules=("repro.litmus",),
+        bench_target="benchmarks/bench_case_studies.py",
+    ),
+    Experiment(
+        identifier="table11",
+        title="Lines of code per defense integration",
+        workload="static count over the defense and executor modules",
+        modules=("repro.reporting.loc",),
+        bench_target="benchmarks/bench_table11_loc.py",
+    ),
+    Experiment(
+        identifier="fig4",
+        title="UV1 speculative-eviction example",
+        workload="directed litmus invisispec_eviction",
+        modules=("repro.litmus", "repro.defenses.invisispec"),
+        bench_target="benchmarks/bench_case_studies.py",
+    ),
+    Experiment(
+        identifier="fig8",
+        title="UV6 SpecLFB first-load example",
+        workload="directed litmus speclfb_first_load",
+        modules=("repro.litmus", "repro.defenses.speclfb"),
+        bench_target="benchmarks/bench_case_studies.py",
+    ),
+    Experiment(
+        identifier="fig9",
+        title="KV3 STT tainted-store-TLB example",
+        workload="directed litmus stt_store_tlb",
+        modules=("repro.litmus", "repro.defenses.stt"),
+        bench_target="benchmarks/bench_case_studies.py",
+    ),
+    Experiment(
+        identifier="ablation_priming",
+        title="Cache priming (fill) vs clean start (flush)",
+        workload="baseline O3, identical campaign with both priming strategies",
+        modules=("repro.executor.executor",),
+        bench_target="benchmarks/bench_ablation_priming.py",
+        notes="Design-choice ablation called out in DESIGN.md.",
+    ),
+    Experiment(
+        identifier="ablation_boosting",
+        title="Contract-preserving input boosting vs purely random inputs",
+        workload="baseline O3, identical campaign with and without boosting",
+        modules=("repro.generator.inputs", "repro.model.taint"),
+        bench_target="benchmarks/bench_ablation_boosting.py",
+        notes="Design-choice ablation called out in DESIGN.md.",
+    ),
+)
+
+_BY_ID: Dict[str, Experiment] = {experiment.identifier: experiment for experiment in EXPERIMENTS}
+
+
+def get_experiment(identifier: str) -> Experiment:
+    if identifier not in _BY_ID:
+        known = ", ".join(sorted(_BY_ID))
+        raise KeyError(f"unknown experiment {identifier!r}; known: {known}")
+    return _BY_ID[identifier]

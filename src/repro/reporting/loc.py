@@ -1,0 +1,77 @@
+"""Lines-of-code accounting for the defense integrations (Table 11).
+
+The paper's Table 11 reports how many lines had to be added to each gem5
+defense to integrate it with AMuLeT, split into test harness, socket-based
+communication and trace extraction.  In this repository the equivalent split
+is: the defense model itself (the behaviour layered onto the core), the
+executor plumbing shared by all defenses, and the trace extraction code.
+The absolute numbers differ from the paper (different languages, different
+simulators); the point reproduced is that the per-defense integration cost
+is small and mostly shared.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Dict, List
+
+from repro.defenses import registry as defense_registry
+from repro.executor import executor as executor_module
+from repro.executor import traces as traces_module
+
+
+def _count_module_loc(module) -> int:
+    """Count non-blank, non-comment source lines of a module."""
+    source = inspect.getsource(module)
+    count = 0
+    in_docstring = False
+    for raw_line in source.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith('"""') or line.startswith("'''"):
+            # Toggle docstring state; single-line docstrings toggle twice.
+            quote = line[:3]
+            if in_docstring:
+                in_docstring = False
+                continue
+            if line.count(quote) >= 2 and len(line) > 3:
+                continue
+            in_docstring = True
+            continue
+        if in_docstring:
+            continue
+        if line.startswith("#"):
+            continue
+        count += 1
+    return count
+
+
+def count_defense_loc(defense_name: str) -> Dict[str, int]:
+    """LoC breakdown for one defense: defense model, executor, trace extraction."""
+    defense_class = defense_registry.defense_class(defense_name)
+    defense_module = inspect.getmodule(defense_class)
+    return {
+        "defense_model": _count_module_loc(defense_module),
+        "executor_plumbing": _count_module_loc(executor_module),
+        "trace_extraction": _count_module_loc(traces_module),
+    }
+
+
+def loc_table() -> List[Dict[str, object]]:
+    """Table-11-style rows for every defense."""
+    rows: List[Dict[str, object]] = []
+    for name in defense_registry.available_defenses():
+        if name == "baseline":
+            continue
+        breakdown = count_defense_loc(name)
+        rows.append(
+            {
+                "defense": name,
+                "defense_model_loc": breakdown["defense_model"],
+                "executor_plumbing_loc": breakdown["executor_plumbing"],
+                "trace_extraction_loc": breakdown["trace_extraction"],
+                "total_loc": sum(breakdown.values()),
+            }
+        )
+    return rows

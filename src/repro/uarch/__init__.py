@@ -1,0 +1,40 @@
+"""Micro-architectural simulator substrate (this repository's gem5 substitute).
+
+The package provides a cycle-driven out-of-order core with the structures
+that speculative leaks flow through: a branch predictor and BTB, a memory
+dependence predictor, a load/store queue with store-to-load forwarding and
+speculative store bypass, a reorder buffer with squash/recovery, an L1I/L1D/
+L2 cache hierarchy with MSHRs, and a data TLB.  Secure-speculation defenses
+hook into the core's memory path through :mod:`repro.defenses`.
+
+The core is a timing and footprint model, not a data model: architectural
+values always come from the shared ISA semantics, so the simulator cannot
+disagree with the leakage model architecturally.  What it adds is the
+micro-architectural state an attacker can observe (cache and TLB contents,
+predictor state, access orderings) and the timing effects (MSHR contention,
+cleanup latency, fetch-ahead) that the paper's vulnerabilities depend on.
+"""
+
+from repro.uarch.cache import AccessResult, MSHRFile, SetAssociativeCache
+from repro.uarch.config import UarchConfig
+from repro.uarch.branch_predictor import BranchPredictor
+from repro.uarch.memory_dep import MemoryDependencePredictor
+from repro.uarch.memory_system import MemorySystem
+from repro.uarch.tlb import TLB
+from repro.uarch.core import InFlightInstruction, O3Core, SimulationResult
+from repro.uarch.stats import CoreStatistics
+
+__all__ = [
+    "AccessResult",
+    "MSHRFile",
+    "SetAssociativeCache",
+    "UarchConfig",
+    "BranchPredictor",
+    "MemoryDependencePredictor",
+    "MemorySystem",
+    "TLB",
+    "InFlightInstruction",
+    "O3Core",
+    "SimulationResult",
+    "CoreStatistics",
+]

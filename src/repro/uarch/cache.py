@@ -1,0 +1,191 @@
+"""Set-associative caches and miss-status-handling registers (MSHRs).
+
+Caches here are *footprint and timing* models: they track which line
+addresses are present (and their LRU order) but never hold data — data always
+comes from the shared ISA semantics.  This is exactly the information a
+cache side-channel attacker can recover (which lines are cached), and it is
+what AMuLeT's default micro-architectural trace snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.uarch.config import CacheConfig
+
+
+@dataclass
+class AccessResult:
+    """Outcome of a cache-hierarchy access (see :class:`MemorySystem`)."""
+
+    latency: int
+    l1_hit: bool
+    l2_hit: bool
+    evicted_line: Optional[int] = None
+    installed_line: Optional[int] = None
+    used_mshr: bool = False
+
+
+class SetAssociativeCache:
+    """A set-associative cache with true-LRU replacement.
+
+    Lines are identified by their line base address.  The class exposes both
+    the normal access path (:meth:`lookup` / :meth:`install`) and white-box
+    helpers used by the executor (priming, snapshots, invalidation) — the
+    paper stresses that a simulator gives white-box access to this state and
+    AMuLeT exploits that to build its micro-architectural traces.
+    """
+
+    def __init__(self, name: str, config: CacheConfig) -> None:
+        self.name = name
+        self.config = config
+        self._lines: List[Dict[int, int]] = [dict() for _ in range(config.sets)]
+        self._use_counter = 0
+
+    # -- address helpers -----------------------------------------------------
+    def line_base(self, address: int) -> int:
+        return address - (address % self.config.line_size)
+
+    def set_index(self, address: int) -> int:
+        return (address // self.config.line_size) % self.config.sets
+
+    # -- access path -----------------------------------------------------------
+    def lookup(self, address: int, update_replacement: bool = True) -> bool:
+        """Return True on hit; optionally refresh the line's LRU position."""
+        base = self.line_base(address)
+        entry_set = self._lines[self.set_index(address)]
+        if base in entry_set:
+            if update_replacement:
+                self._use_counter += 1
+                entry_set[base] = self._use_counter
+            return True
+        return False
+
+    def probe(self, address: int) -> bool:
+        """Hit/miss check with no side effect on replacement state."""
+        return self.line_base(address) in self._lines[self.set_index(address)]
+
+    def has_free_way(self, address: int) -> bool:
+        return len(self._lines[self.set_index(address)]) < self.config.ways
+
+    def victim(self, address: int) -> Optional[int]:
+        """The line that would be evicted by installing ``address``."""
+        entry_set = self._lines[self.set_index(address)]
+        if len(entry_set) < self.config.ways:
+            return None
+        return min(entry_set, key=entry_set.get)
+
+    def install(self, address: int) -> Optional[int]:
+        """Install the line containing ``address``; return any evicted line."""
+        base = self.line_base(address)
+        entry_set = self._lines[self.set_index(address)]
+        self._use_counter += 1
+        if base in entry_set:
+            entry_set[base] = self._use_counter
+            return None
+        evicted = None
+        if len(entry_set) >= self.config.ways:
+            evicted = min(entry_set, key=entry_set.get)
+            del entry_set[evicted]
+        entry_set[base] = self._use_counter
+        return evicted
+
+    def evict(self, address: int) -> Optional[int]:
+        """Force an eviction in the set of ``address`` (LRU victim).
+
+        Used to model InvisiSpec's UV1 bug, where a speculative load miss on
+        a full set triggers a replacement even though nothing is installed.
+        """
+        entry_set = self._lines[self.set_index(address)]
+        if not entry_set:
+            return None
+        victim = min(entry_set, key=entry_set.get)
+        del entry_set[victim]
+        return victim
+
+    def invalidate(self, address: int) -> bool:
+        """Remove the line containing ``address``; return True if it was present."""
+        base = self.line_base(address)
+        entry_set = self._lines[self.set_index(address)]
+        if base in entry_set:
+            del entry_set[base]
+            return True
+        return False
+
+    # -- white-box helpers -------------------------------------------------------
+    def flush(self) -> None:
+        for entry_set in self._lines:
+            entry_set.clear()
+        self._use_counter = 0
+
+    def fill_set(self, set_index: int, addresses: List[int]) -> None:
+        """Prime one set with the given line addresses (oldest first)."""
+        entry_set = self._lines[set_index]
+        for address in addresses:
+            self._use_counter += 1
+            entry_set[self.line_base(address)] = self._use_counter
+
+    def snapshot(self) -> Tuple[int, ...]:
+        """Sorted tuple of all resident line base addresses."""
+        lines: List[int] = []
+        for entry_set in self._lines:
+            lines.extend(entry_set.keys())
+        return tuple(sorted(lines))
+
+    def occupancy(self) -> int:
+        return sum(len(entry_set) for entry_set in self._lines)
+
+    def contains(self, address: int) -> bool:
+        return self.probe(address)
+
+    def resident_lines_in_set(self, set_index: int) -> Tuple[int, ...]:
+        return tuple(sorted(self._lines[set_index].keys()))
+
+
+class MSHRFile:
+    """Miss-status-handling registers: a bounded pool of outstanding misses.
+
+    Each outstanding miss occupies one MSHR until its fill completes.  When
+    all MSHRs are busy, new misses (and InvisiSpec expose operations) must
+    wait — the contention that the paper's UV2 single-core speculative
+    interference attack exploits, and the structure the amplification
+    technique shrinks to make that contention likely in short tests.
+    """
+
+    def __init__(self, count: int) -> None:
+        if count < 1:
+            raise ValueError("need at least one MSHR")
+        self.count = count
+        self._busy: Dict[int, Tuple[int, int]] = {}  # id -> (line, release_cycle)
+        self._next_id = 0
+        self.peak_occupancy = 0
+
+    def expire(self, cycle: int) -> None:
+        """Release MSHRs whose fills have completed by ``cycle``."""
+        finished = [mshr for mshr, (_, release) in self._busy.items() if release <= cycle]
+        for mshr in finished:
+            del self._busy[mshr]
+
+    def available(self) -> bool:
+        return len(self._busy) < self.count
+
+    def occupancy(self) -> int:
+        return len(self._busy)
+
+    def allocate(self, line_address: int, release_cycle: int) -> Optional[int]:
+        """Allocate an MSHR until ``release_cycle``; None if all are busy."""
+        if not self.available():
+            return None
+        mshr_id = self._next_id
+        self._next_id += 1
+        self._busy[mshr_id] = (line_address, release_cycle)
+        self.peak_occupancy = max(self.peak_occupancy, len(self._busy))
+        return mshr_id
+
+    def busy_lines(self) -> Tuple[int, ...]:
+        return tuple(sorted(line for line, _ in self._busy.values()))
+
+    def reset(self) -> None:
+        self._busy.clear()
+        self.peak_occupancy = 0

@@ -1,0 +1,98 @@
+"""Configuration of the out-of-order core and its memory hierarchy.
+
+The defaults approximate the gem5 O3CPU configuration the paper tests
+(32 KiB 8-way L1 caches, 256 KiB 8-way L2, 64-entry D-TLB).  The fields the
+paper's *leakage amplification* technique shrinks — L1D associativity and the
+number of MSHRs — are ordinary fields here, so amplified configurations are
+just alternative :class:`UarchConfig` instances (see
+:mod:`repro.core.amplification`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    sets: int = 64
+    ways: int = 8
+    line_size: int = 64
+
+    @property
+    def size_bytes(self) -> int:
+        return self.sets * self.ways * self.line_size
+
+
+@dataclass(frozen=True)
+class UarchConfig:
+    """Complete configuration of the simulated core."""
+
+    # Pipeline widths and window sizes.
+    fetch_width: int = 4
+    issue_width: int = 4
+    commit_width: int = 4
+    rob_size: int = 64
+    load_queue_size: int = 16
+    store_queue_size: int = 16
+
+    # Memory hierarchy.
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(sets=64, ways=8))
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(sets=64, ways=8))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(sets=512, ways=8))
+    num_mshrs: int = 256
+    dtlb_entries: int = 64
+    page_size: int = 4096
+
+    # Latencies (cycles).
+    alu_latency: int = 1
+    l1_hit_latency: int = 3
+    l2_hit_latency: int = 20
+    memory_latency: int = 300
+    tlb_miss_latency: int = 30
+    l1i_miss_latency: int = 12
+    branch_redirect_penalty: int = 4
+    cleanup_latency: int = 20
+
+    # Branch prediction.
+    predictor_entries: int = 1024
+    predictor_history_bits: int = 8
+    btb_entries: int = 64
+
+    # Memory dependence prediction.
+    dependence_predictor_entries: int = 256
+
+    # End-of-test behaviour: number of cycles simulated after the EXIT
+    # instruction commits, during which in-flight operations (e.g. queued
+    # InvisiSpec exposes) may still take effect.  Anything that has not
+    # initiated by then is not reflected in the final micro-architectural
+    # state — this models the point at which the attacker probes.
+    drain_cycles: int = 50
+
+    # Safety bound.
+    max_cycles: int = 200_000
+
+    # -- convenience -----------------------------------------------------------
+    def with_amplification(
+        self, l1d_ways: int | None = None, mshrs: int | None = None
+    ) -> "UarchConfig":
+        """Return a copy with reduced structure sizes (leakage amplification)."""
+        new_l1d = self.l1d if l1d_ways is None else replace(self.l1d, ways=l1d_ways)
+        return replace(
+            self,
+            l1d=new_l1d,
+            num_mshrs=self.num_mshrs if mshrs is None else mshrs,
+        )
+
+    def describe(self) -> Dict[str, object]:
+        """A short human-readable summary used in reports."""
+        return {
+            "l1d": f"{self.l1d.size_bytes // 1024}KiB/{self.l1d.ways}-way",
+            "l2": f"{self.l2.size_bytes // 1024}KiB/{self.l2.ways}-way",
+            "mshrs": self.num_mshrs,
+            "rob": self.rob_size,
+            "dtlb": self.dtlb_entries,
+        }

@@ -1,0 +1,814 @@
+"""The out-of-order, speculative core.
+
+The core is cycle-driven and models the parts of an O3 pipeline that matter
+for speculative leakage:
+
+* fetch along the predicted path (with L1I footprint and fetch-ahead past the
+  end of the test while EXIT is still in flight);
+* dispatch with register renaming (producer tracking) into a reorder buffer;
+* out-of-order execution with a load/store queue: store-to-load forwarding,
+  memory-dependence speculation (loads may bypass older stores with unknown
+  addresses), and squash + retrain on memory-order violations;
+* branch resolution a few cycles after issue, giving a speculative window in
+  which younger instructions can touch the memory hierarchy before a
+  misprediction squash;
+* in-order commit, at which point stores become architecturally visible.
+
+Architectural values always come from :mod:`repro.isa.semantics`; the cache
+hierarchy, TLB and predictors are footprint/timing models only, so the core
+cannot diverge architecturally from the leakage model.  All data-cache and
+TLB interactions are delegated to the attached :class:`repro.defenses.Defense`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.defenses.base import Defense
+from repro.generator.inputs import Input
+from repro.generator.sandbox import Sandbox
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import INSTRUCTION_SIZE, Program
+from repro.isa.registers import ArchState
+from repro.isa.semantics import (
+    compute_effective_address,
+    condition_holds,
+    evaluate,
+)
+from repro.uarch.branch_predictor import BranchPredictor
+from repro.uarch.config import UarchConfig
+from repro.uarch.memory_dep import MemoryDependencePredictor
+from repro.uarch.memory_system import MemorySystem
+from repro.uarch.stats import CoreStatistics
+
+#: Extra cycles between a branch issuing and its misprediction being acted
+#: on.  This is the speculative window in which younger instructions can
+#: reach the memory hierarchy.
+BRANCH_RESOLVE_LATENCY = 4
+
+#: How far (in L1I lines) the front end may run ahead of the EXIT instruction
+#: while it waits for EXIT to commit.
+FETCH_AHEAD_LINES = 256
+
+
+@dataclass
+class InFlightInstruction:
+    """One dynamic instruction in the core's window."""
+
+    seq: int
+    instruction: Instruction
+    pc: int
+    # Dispatch-time dependence information.
+    sources: Dict[str, Optional[int]] = field(default_factory=dict)
+    flags_source: Optional[int] = None
+    # Branch prediction.
+    predicted_taken: Optional[bool] = None
+    predicted_target: Optional[int] = None
+    actual_taken: Optional[bool] = None
+    resolved: bool = False
+    mispredicted: bool = False
+    # Execution status.
+    status: str = "waiting"  # waiting -> executing -> done -> committed
+    execute_cycle: Optional[int] = None
+    finish_cycle: Optional[int] = None
+    effect: Optional[object] = None
+    result_registers: Dict[str, int] = field(default_factory=dict)
+    flags_out: Optional[Dict[str, bool]] = None
+    # Memory behaviour.
+    mem_address: Optional[int] = None
+    mem_size: int = 0
+    line_addresses: List[int] = field(default_factory=list)
+    is_split: bool = False
+    forwarded_from: Optional[int] = None
+    wait_for_store_commit: Optional[int] = None
+    bypassed_stores: Set[int] = field(default_factory=set)
+    memory_value: Optional[int] = None
+    # Speculation status.
+    speculative: bool = False
+    unsafe_deps: Set[int] = field(default_factory=set)
+    safe_notified: bool = False
+    squashed: bool = False
+    # Per-defense annotations (speculative buffers, cleanup metadata, ...).
+    defense_data: Dict[str, object] = field(default_factory=dict)
+
+    # -- convenience -----------------------------------------------------------
+    @property
+    def is_load(self) -> bool:
+        return self.instruction.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.instruction.is_store
+
+    @property
+    def is_memory_access(self) -> bool:
+        return self.instruction.is_memory_access
+
+    @property
+    def is_cond_branch(self) -> bool:
+        return self.instruction.is_cond_branch
+
+    def overlaps(self, other: "InFlightInstruction") -> bool:
+        """Do the memory ranges of two executed accesses overlap?"""
+        if self.mem_address is None or other.mem_address is None:
+            return False
+        a_start, a_end = self.mem_address, self.mem_address + self.mem_size
+        b_start, b_end = other.mem_address, other.mem_address + other.mem_size
+        return a_start < b_end and b_start < a_end
+
+
+@dataclass
+class SimulationResult:
+    """Summary of one simulated test-case execution."""
+
+    cycles: int
+    instructions_committed: int
+    exit_reached: bool
+    stats: CoreStatistics
+    final_registers: Dict[str, int] = field(default_factory=dict)
+
+
+class SimulationError(RuntimeError):
+    """Raised for internal inconsistencies (never for slow test cases)."""
+
+
+class O3Core:
+    """The simulated out-of-order CPU hosting a secure-speculation defense."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: Optional[UarchConfig] = None,
+        defense: Optional[Defense] = None,
+        sandbox: Optional[Sandbox] = None,
+    ) -> None:
+        from repro.defenses.baseline import BaselineDefense
+
+        self.program = program
+        self.config = config or UarchConfig()
+        self.sandbox = sandbox or Sandbox()
+        self.memory = MemorySystem(self.config)
+        self.branch_predictor = BranchPredictor(
+            entries=self.config.predictor_entries,
+            history_bits=self.config.predictor_history_bits,
+            btb_entries=self.config.btb_entries,
+        )
+        self.dependence_predictor = MemoryDependencePredictor(
+            entries=self.config.dependence_predictor_entries
+        )
+        self.defense = defense or BaselineDefense()
+        self.defense.attach(self)
+
+        # Per-run state, initialised by run().
+        self.arch_state: Optional[ArchState] = None
+        self.stats = CoreStatistics()
+        self.branch_prediction_log: List[Tuple[int, int]] = []
+        self._rob: List[InFlightInstruction] = []
+        self._entries: Dict[int, InFlightInstruction] = {}
+        self._rename_map: Dict[str, int] = {}
+        self._flags_producer: Optional[int] = None
+        self._next_seq = 0
+        self._fetch_pc = program.entry_pc
+        self._fetch_stalled_until = 0
+        self._fetch_ahead_pc: Optional[int] = None
+        self._exit_fetched = False
+        self._exit_committed_cycle: Optional[int] = None
+        self._stall_commit_until = 0
+        self.cycle = 0
+
+    # ======================================================================
+    # public API
+    # ======================================================================
+    def run(self, test_input: Input) -> SimulationResult:
+        """Simulate one test case (the current program with ``test_input``).
+
+        Persistent micro-architectural state (caches, TLB, predictors) is
+        deliberately *not* reset here; the executor decides what carries over
+        between test cases (AMuLeT-Opt keeps predictor state, re-primes the
+        caches).
+        """
+        self._reset_run_state(test_input)
+        config = self.config
+
+        while True:
+            self.cycle += 1
+            cycle = self.cycle
+            if cycle > config.max_cycles:
+                break
+            self.memory.mshrs.expire(cycle)
+            self.defense.tick(cycle)
+            self._writeback(cycle)
+            self._update_safety(cycle)
+            self._commit(cycle)
+            if self._exit_committed_cycle is not None:
+                if cycle >= self._exit_committed_cycle + config.drain_cycles:
+                    break
+                continue
+            self._execute(cycle)
+            self._fetch(cycle)
+
+        self.stats.cycles = self.cycle
+        self.stats.mshr_stalls = self.memory.mshr_stall_events
+        return SimulationResult(
+            cycles=self.cycle,
+            instructions_committed=self.stats.instructions_committed,
+            exit_reached=self._exit_committed_cycle is not None,
+            stats=self.stats,
+            final_registers=self.arch_state.registers.as_dict(),
+        )
+
+    def save_uarch_context(self) -> dict:
+        """Capture the predictor state that AMuLeT-Opt carries across inputs."""
+        return {
+            "branch_predictor": self.branch_predictor.save_state(),
+            "dependence_predictor": self.dependence_predictor.save_state(),
+        }
+
+    def restore_uarch_context(self, context: dict) -> None:
+        self.branch_predictor.restore_state(context["branch_predictor"])
+        self.dependence_predictor.restore_state(context["dependence_predictor"])
+
+    def is_currently_unsafe(self, entry: InFlightInstruction) -> bool:
+        """Live check: can ``entry`` still be squashed by an older instruction?"""
+        if entry.squashed:
+            return False
+        for older in self._rob:
+            if older.seq >= entry.seq:
+                break
+            if older.squashed:
+                continue
+            if older.is_cond_branch and not older.resolved:
+                return True
+            if older.is_store and older.mem_address is None:
+                return True
+        return bool(entry.bypassed_stores and not entry.safe_notified)
+
+    def instruction_window(self) -> Tuple[InFlightInstruction, ...]:
+        """The current (non-committed, non-squashed) reorder-buffer contents."""
+        return tuple(self._rob)
+
+    def producer_chain(self, entry: InFlightInstruction, registers) -> List[InFlightInstruction]:
+        """All in-flight producers transitively feeding ``registers`` of ``entry``.
+
+        Used by STT to find the speculative loads whose data taints an
+        address operand.
+        """
+        result: List[InFlightInstruction] = []
+        visited: Set[int] = set()
+        frontier = [entry.sources.get(reg) for reg in registers]
+        while frontier:
+            seq = frontier.pop()
+            if seq is None or seq in visited:
+                continue
+            visited.add(seq)
+            producer = self._entries.get(seq)
+            if producer is None or producer.squashed:
+                continue
+            result.append(producer)
+            frontier.extend(producer.sources.values())
+            if producer.flags_source is not None and producer.instruction.reads_flags:
+                frontier.append(producer.flags_source)
+        return result
+
+    # ======================================================================
+    # per-run setup
+    # ======================================================================
+    def _reset_run_state(self, test_input: Input) -> None:
+        self.arch_state = ArchState(
+            sandbox_base=self.sandbox.base,
+            sandbox_size=self.sandbox.size,
+            sandbox=bytearray(self.sandbox.size),
+        )
+        self.arch_state.load_input(test_input.register_dict(), test_input.memory)
+        self.stats = CoreStatistics()
+        self.branch_prediction_log = []
+        self._rob = []
+        self._entries = {}
+        self._rename_map = {}
+        self._flags_producer = None
+        self._next_seq = 0
+        self._fetch_pc = self.program.entry_pc
+        self._fetch_stalled_until = 0
+        self._fetch_ahead_pc = None
+        self._exit_fetched = False
+        self._exit_committed_cycle = None
+        self._stall_commit_until = 0
+        self.cycle = 0
+        self.memory.clear_access_log()
+        self.defense.reset_for_run()
+
+    # ======================================================================
+    # pipeline stages
+    # ======================================================================
+    def _writeback(self, cycle: int) -> None:
+        for entry in list(self._rob):
+            if entry.status != "executing" or entry.finish_cycle is None:
+                continue
+            if entry.finish_cycle > cycle:
+                continue
+            entry.status = "done"
+            if entry.is_cond_branch and not entry.resolved:
+                self._resolve_branch(entry, cycle)
+
+    def _resolve_branch(self, entry: InFlightInstruction, cycle: int) -> None:
+        entry.resolved = True
+        if entry.actual_taken == entry.predicted_taken:
+            return
+        entry.mispredicted = True
+        self.stats.branch_mispredictions += 1
+        correct_pc = (
+            entry.instruction.target_pc
+            if entry.actual_taken
+            else entry.instruction.fallthrough_pc
+        )
+        self._squash_from(entry.seq + 1, correct_pc, cycle)
+
+    def _update_safety(self, cycle: int) -> None:
+        for entry in self._rob:
+            if entry.squashed or entry.safe_notified:
+                continue
+            if not entry.is_memory_access:
+                continue
+            if entry.status not in ("executing", "done"):
+                continue
+            if not self._deps_resolved(entry):
+                continue
+            entry.safe_notified = True
+            self.defense.on_entry_safe(entry, cycle)
+
+    def _deps_resolved(self, entry: InFlightInstruction) -> bool:
+        for dep_seq in entry.unsafe_deps:
+            dep = self._entries.get(dep_seq)
+            if dep is None or dep.squashed:
+                return False
+            if dep.is_cond_branch and not dep.resolved:
+                return False
+            if dep.is_store and dep.mem_address is None:
+                return False
+        return True
+
+    def _commit(self, cycle: int) -> None:
+        if cycle < self._stall_commit_until:
+            return
+        committed = 0
+        while self._rob and committed < self.config.commit_width:
+            head = self._rob[0]
+            if head.status != "done":
+                break
+            self._commit_entry(head, cycle)
+            self._rob.pop(0)
+            committed += 1
+            if head.instruction.is_exit:
+                self._exit_committed_cycle = cycle
+                # Anything younger than EXIT is wrong-path work; discard it.
+                for leftover in self._rob:
+                    leftover.squashed = True
+                    self.defense.on_squash(leftover, cycle)
+                    self.stats.instructions_squashed += 1
+                self._rob.clear()
+                break
+            if cycle < self._stall_commit_until:
+                break
+
+    def _commit_entry(self, entry: InFlightInstruction, cycle: int) -> None:
+        entry.status = "committed"
+        effect = entry.effect
+        state = self.arch_state
+        if effect is not None:
+            for name, value in effect.register_writes.items():
+                state.registers.write(name, value)
+            if effect.flag_writes:
+                state.flags.update(effect.flag_writes)
+            if effect.memory_write is not None:
+                address, size, value = effect.memory_write
+                state.write_memory(address, size, value)
+        if entry.is_store:
+            self.defense.commit_store(entry, cycle)
+        if entry.is_cond_branch and entry.actual_taken is not None:
+            self.branch_predictor.update_direction(entry.pc, entry.actual_taken)
+            if entry.actual_taken and entry.instruction.target_pc is not None:
+                self.branch_predictor.update_target(entry.pc, entry.instruction.target_pc)
+        if entry.instruction.opcode is Opcode.JMP and entry.instruction.target_pc is not None:
+            self.branch_predictor.update_target(entry.pc, entry.instruction.target_pc)
+        if entry.is_load and entry.bypassed_stores:
+            self.dependence_predictor.train_no_violation(entry.pc)
+        self.defense.on_commit(entry, cycle)
+        self.stats.instructions_committed += 1
+
+    def _execute(self, cycle: int) -> None:
+        issued = 0
+        for entry in list(self._rob):
+            if issued >= self.config.issue_width:
+                break
+            if entry.status != "waiting" or entry.squashed:
+                continue
+            if not self._operands_ready(entry):
+                continue
+            if self._start_execution(entry, cycle):
+                issued += 1
+
+    def _operands_ready(self, entry: InFlightInstruction) -> bool:
+        for producer_seq in entry.sources.values():
+            if producer_seq is None:
+                continue
+            producer = self._entries[producer_seq]
+            if producer.status not in ("done", "committed"):
+                return False
+        # Only instructions that consume flag state must wait for the previous
+        # flag producer: explicit readers (Jcc/CMOVcc/SETcc) and partial flag
+        # updaters (INC/DEC preserve the carry, shifts leave flags untouched
+        # for a zero count).  Full flag writers overwrite all five flags and
+        # need no ordering — waiting here would serialise the whole window on
+        # the flags register and artificially shrink speculative windows.
+        needs_flags = entry.instruction.reads_flags or entry.instruction.opcode in (
+            Opcode.INC,
+            Opcode.DEC,
+            Opcode.SHL,
+            Opcode.SHR,
+        )
+        if needs_flags and entry.flags_source is not None:
+            producer = self._entries[entry.flags_source]
+            if producer.status not in ("done", "committed"):
+                return False
+        if entry.wait_for_store_commit is not None:
+            store = self._entries.get(entry.wait_for_store_commit)
+            if store is not None and not store.squashed and store.status != "committed":
+                return False
+            entry.wait_for_store_commit = None
+        return True
+
+    # -- value helpers ------------------------------------------------------------
+    def _read_register(self, entry: InFlightInstruction, name: str) -> int:
+        producer_seq = entry.sources.get(name)
+        if producer_seq is None:
+            return self.arch_state.registers.read(name)
+        producer = self._entries[producer_seq]
+        if name in producer.result_registers:
+            return producer.result_registers[name]
+        # The nominal producer did not actually write the register (should
+        # not happen with the current ISA); fall back to architectural state.
+        return self.arch_state.registers.read(name)
+
+    def _flags_for(self, entry: InFlightInstruction) -> Dict[str, bool]:
+        if entry.flags_source is None:
+            return self.arch_state.flags.as_dict()
+        producer = self._entries[entry.flags_source]
+        if producer.flags_out is not None:
+            return dict(producer.flags_out)
+        return self.arch_state.flags.as_dict()
+
+    # -- execution of individual instruction kinds -------------------------------------
+    def _start_execution(self, entry: InFlightInstruction, cycle: int) -> bool:
+        instruction = entry.instruction
+        opcode = instruction.opcode
+
+        if opcode in (Opcode.NOP, Opcode.LFENCE, Opcode.EXIT):
+            entry.effect = evaluate(
+                instruction,
+                lambda name: self._read_register(entry, name),
+                self._flags_for(entry),
+                self.arch_state.read_memory,
+            )
+            entry.flags_out = self._flags_for(entry)
+            self._begin(entry, cycle, self.config.alu_latency)
+            return True
+
+        if instruction.is_branch:
+            return self._execute_branch(entry, cycle)
+
+        if instruction.is_memory_access:
+            return self._execute_memory(entry, cycle)
+
+        return self._execute_alu(entry, cycle)
+
+    def _execute_alu(self, entry: InFlightInstruction, cycle: int) -> bool:
+        flags_in = self._flags_for(entry)
+        effect = evaluate(
+            entry.instruction,
+            lambda name: self._read_register(entry, name),
+            flags_in,
+            self.arch_state.read_memory,
+        )
+        entry.effect = effect
+        entry.result_registers = dict(effect.register_writes)
+        entry.flags_out = {**flags_in, **effect.flag_writes}
+        self._begin(entry, cycle, self.config.alu_latency)
+        return True
+
+    def _execute_branch(self, entry: InFlightInstruction, cycle: int) -> bool:
+        instruction = entry.instruction
+        flags_in = self._flags_for(entry)
+        effect = evaluate(
+            instruction,
+            lambda name: self._read_register(entry, name),
+            flags_in,
+            self.arch_state.read_memory,
+        )
+        entry.effect = effect
+        entry.flags_out = flags_in
+        entry.actual_taken = bool(effect.branch_taken)
+        if instruction.opcode is Opcode.JMP:
+            # Direct jumps never mispredict in this model (targets are static).
+            entry.resolved = True
+            self._begin(entry, cycle, self.config.alu_latency)
+            return True
+        self._begin(entry, cycle, BRANCH_RESOLVE_LATENCY)
+        return True
+
+    def _execute_memory(self, entry: InFlightInstruction, cycle: int) -> bool:
+        instruction = entry.instruction
+        memory_operand = instruction.memory_operand
+        address = compute_effective_address(
+            memory_operand, lambda name: self._read_register(entry, name)
+        )
+        entry.mem_address = address
+        entry.mem_size = memory_operand.size
+        entry.line_addresses = self.memory.lines_of_access(address, memory_operand.size)
+        entry.is_split = len(entry.line_addresses) > 1
+        self._capture_speculation_status(entry)
+
+        if instruction.is_load:
+            return self._execute_load(entry, cycle)
+        return self._execute_store(entry, cycle)
+
+    def _capture_speculation_status(self, entry: InFlightInstruction) -> None:
+        deps: Set[int] = set()
+        for older in self._rob:
+            if older.seq >= entry.seq:
+                break
+            if older.squashed:
+                continue
+            if older.is_cond_branch and not older.resolved:
+                deps.add(older.seq)
+            elif older.is_store and older.mem_address is None and older.seq != entry.seq:
+                deps.add(older.seq)
+        entry.unsafe_deps = deps
+        entry.speculative = bool(deps)
+
+    def _execute_load(self, entry: InFlightInstruction, cycle: int) -> bool:
+        forwarded_value: Optional[int] = None
+        # Scan older stores, youngest first.
+        for older in reversed(self._rob):
+            if older.seq >= entry.seq:
+                continue
+            if older.squashed or not older.is_store or older is entry:
+                continue
+            if older.mem_address is None:
+                if self.dependence_predictor.predicts_alias(entry.pc):
+                    # Conservative prediction: wait for the store to resolve.
+                    return False
+                entry.bypassed_stores.add(older.seq)
+                continue
+            if not entry.overlaps(older):
+                continue
+            store_write = older.effect.memory_write if older.effect else None
+            if store_write is None:
+                return False
+            store_address, store_size, store_value = store_write
+            covers = (
+                store_address <= entry.mem_address
+                and entry.mem_address + entry.mem_size <= store_address + store_size
+            )
+            if covers:
+                offset = entry.mem_address - store_address
+                forwarded_value = (store_value >> (8 * offset)) & (
+                    (1 << (8 * entry.mem_size)) - 1
+                )
+                entry.forwarded_from = older.seq
+            else:
+                # Partial overlap: wait until the store has drained to memory.
+                entry.wait_for_store_commit = older.seq
+                return False
+            break
+
+        if forwarded_value is not None:
+            latency = 2
+            entry.memory_value = forwarded_value
+        else:
+            latency = self.defense.load_execute(entry, cycle)
+            if latency is None:
+                self.stats.defense_delayed_accesses += 1
+                return False
+            entry.memory_value = self.arch_state.read_memory(
+                entry.mem_address, entry.mem_size
+            )
+
+        flags_in = self._flags_for(entry)
+        effect = evaluate(
+            entry.instruction,
+            lambda name: self._read_register(entry, name),
+            flags_in,
+            lambda _address, _size: entry.memory_value,
+        )
+        entry.effect = effect
+        entry.result_registers = dict(effect.register_writes)
+        entry.flags_out = {**flags_in, **effect.flag_writes}
+        self._begin(entry, cycle, max(1, latency))
+
+        self.stats.loads_executed += 1
+        if entry.speculative:
+            self.stats.speculative_loads += 1
+        if entry.is_store:
+            # Read-modify-write: its store address just resolved.
+            self._check_memory_order(entry, cycle)
+            self.stats.stores_executed += 1
+            if entry.speculative:
+                self.stats.speculative_stores += 1
+        return True
+
+    def _execute_store(self, entry: InFlightInstruction, cycle: int) -> bool:
+        latency = self.defense.store_execute(entry, cycle)
+        if latency is None:
+            self.stats.defense_delayed_accesses += 1
+            return False
+        flags_in = self._flags_for(entry)
+        effect = evaluate(
+            entry.instruction,
+            lambda name: self._read_register(entry, name),
+            flags_in,
+            self.arch_state.read_memory,
+        )
+        entry.effect = effect
+        entry.result_registers = dict(effect.register_writes)
+        entry.flags_out = {**flags_in, **effect.flag_writes}
+        self._begin(entry, cycle, max(1, latency))
+        self.stats.stores_executed += 1
+        if entry.speculative:
+            self.stats.speculative_stores += 1
+        self._check_memory_order(entry, cycle)
+        return True
+
+    def _check_memory_order(self, store: InFlightInstruction, cycle: int) -> None:
+        """A store's address resolved: squash younger loads that bypassed it."""
+        violators = [
+            load
+            for load in self._rob
+            if load.seq > store.seq
+            and load.is_load
+            and not load.squashed
+            and load.status in ("executing", "done")
+            and load.mem_address is not None
+            and load.forwarded_from != store.seq
+            and load.overlaps(store)
+        ]
+        if not violators:
+            return
+        oldest = min(violators, key=lambda load: load.seq)
+        self.stats.memory_order_violations += 1
+        self.dependence_predictor.train_violation(oldest.pc)
+        self._squash_from(oldest.seq, oldest.pc, cycle)
+
+    def _begin(self, entry: InFlightInstruction, cycle: int, latency: int) -> None:
+        entry.status = "executing"
+        entry.execute_cycle = cycle
+        entry.finish_cycle = cycle + latency
+
+    # ======================================================================
+    # squash
+    # ======================================================================
+    def _squash_from(self, first_seq: int, redirect_pc: int, cycle: int) -> None:
+        """Squash every entry with ``seq >= first_seq`` and redirect fetch."""
+        survivors: List[InFlightInstruction] = []
+        for entry in self._rob:
+            if entry.seq < first_seq:
+                survivors.append(entry)
+                continue
+            entry.squashed = True
+            entry.status = "squashed"
+            self.defense.on_squash(entry, cycle)
+            self.stats.instructions_squashed += 1
+        self._rob = survivors
+
+        # Rebuild the rename map from the surviving window.
+        self._rename_map = {}
+        self._flags_producer = None
+        for entry in self._rob:
+            destination = entry.instruction.destination_register()
+            if destination is not None:
+                self._rename_map[destination] = entry.seq
+            if entry.instruction.writes_flags:
+                self._flags_producer = entry.seq
+
+        self._fetch_pc = redirect_pc
+        self._fetch_stalled_until = max(
+            self._fetch_stalled_until, cycle + self.config.branch_redirect_penalty
+        )
+        # If the EXIT instruction was squashed, the front end must resume.
+        self._exit_fetched = any(e.instruction.is_exit for e in self._rob)
+        if not self._exit_fetched:
+            self._fetch_ahead_pc = None
+
+    def stall_commit(self, until_cycle: int) -> None:
+        """Used by defenses whose recovery work (e.g. cleanup) blocks commit."""
+        self._stall_commit_until = max(self._stall_commit_until, until_cycle)
+
+    # ======================================================================
+    # fetch
+    # ======================================================================
+    def _fetch(self, cycle: int) -> None:
+        if self._exit_committed_cycle is not None:
+            return
+        if cycle < self._fetch_stalled_until:
+            return
+        if self._exit_fetched:
+            self._fetch_ahead(cycle)
+            return
+
+        fetched = 0
+        while fetched < self.config.fetch_width:
+            if len(self._rob) >= self.config.rob_size:
+                break
+            instruction = self.program.instruction_at(self._fetch_pc)
+            if instruction is None:
+                break
+            if instruction.is_load and self._load_queue_full():
+                break
+            if instruction.is_store and self._store_queue_full():
+                break
+
+            fetch_latency = self.memory.instruction_fetch(self._fetch_pc)
+            if fetch_latency > 1:
+                self._fetch_stalled_until = cycle + fetch_latency
+
+            predicted_taken: Optional[bool] = None
+            predicted_target: Optional[int] = None
+            if instruction.is_cond_branch:
+                predicted_taken = self.branch_predictor.predict_direction(instruction.pc)
+                predicted_target = (
+                    instruction.target_pc if predicted_taken else instruction.fallthrough_pc
+                )
+                self.branch_prediction_log.append((instruction.pc, predicted_target))
+
+            entry = self._dispatch(instruction, predicted_taken, predicted_target)
+            self.stats.instructions_fetched += 1
+            fetched += 1
+
+            if instruction.is_exit:
+                self._exit_fetched = True
+                self._fetch_ahead_pc = instruction.pc + INSTRUCTION_SIZE
+                break
+            if instruction.opcode is Opcode.JMP:
+                self._fetch_pc = instruction.target_pc
+            elif instruction.is_cond_branch:
+                self._fetch_pc = predicted_target
+            else:
+                self._fetch_pc = instruction.pc + INSTRUCTION_SIZE
+            if fetch_latency > 1:
+                break
+
+    def _fetch_ahead(self, cycle: int) -> None:
+        """Speculative fetch past the end of the test while EXIT is in flight.
+
+        The number of extra L1I lines touched depends on how long EXIT takes
+        to commit, which is what makes timing differences (e.g. CleanupSpec's
+        cleanup latency, KV2/unXpec) visible in the instruction cache.
+        """
+        if self._fetch_ahead_pc is None:
+            return
+        limit = self.program.end_pc + FETCH_AHEAD_LINES * self.config.l1i.line_size
+        if self._fetch_ahead_pc >= limit:
+            return
+        self.memory.instruction_fetch(self._fetch_ahead_pc)
+        self._fetch_ahead_pc += self.config.fetch_width * INSTRUCTION_SIZE
+
+    def _load_queue_full(self) -> bool:
+        loads = sum(1 for e in self._rob if e.is_load)
+        return loads >= self.config.load_queue_size
+
+    def _store_queue_full(self) -> bool:
+        stores = sum(1 for e in self._rob if e.is_store)
+        return stores >= self.config.store_queue_size
+
+    def _dispatch(
+        self,
+        instruction: Instruction,
+        predicted_taken: Optional[bool],
+        predicted_target: Optional[int],
+    ) -> InFlightInstruction:
+        seq = self._next_seq
+        self._next_seq += 1
+        entry = InFlightInstruction(
+            seq=seq,
+            instruction=instruction,
+            pc=instruction.pc,
+            predicted_taken=predicted_taken,
+            predicted_target=predicted_target,
+        )
+        needed_registers = set(instruction.source_registers()) | set(
+            instruction.address_registers()
+        )
+        entry.sources = {
+            name: self._rename_map.get(name) for name in needed_registers
+        }
+        entry.flags_source = self._flags_producer
+
+        destination = instruction.destination_register()
+        if destination is not None:
+            self._rename_map[destination] = seq
+        if instruction.writes_flags:
+            self._flags_producer = seq
+
+        self._rob.append(entry)
+        self._entries[seq] = entry
+        return entry

@@ -1,0 +1,158 @@
+"""The memory hierarchy: L1I/L1D/L2 caches, MSHRs and the data TLB.
+
+Defenses drive their cache interactions through this object (install or not,
+update replacement state or not, require an MSHR or not), which is how the
+same out-of-order core hosts InvisiSpec, CleanupSpec, STT and SpecLFB without
+intrusive changes — mirroring the paper's goal of testing defenses without
+modifying them or the simulator core.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.uarch.cache import AccessResult, MSHRFile, SetAssociativeCache
+from repro.uarch.config import UarchConfig
+from repro.uarch.tlb import TLB
+
+
+class MemorySystem:
+    """L1I, L1D, a unified L2, MSHRs and a data TLB, plus an access log."""
+
+    def __init__(self, config: UarchConfig) -> None:
+        self.config = config
+        self.l1d = SetAssociativeCache("l1d", config.l1d)
+        self.l1i = SetAssociativeCache("l1i", config.l1i)
+        self.l2 = SetAssociativeCache("l2", config.l2)
+        self.dtlb = TLB(config.dtlb_entries, config.page_size)
+        self.mshrs = MSHRFile(config.num_mshrs)
+        #: every data-cache access performed, in order: (pc, line_address, kind)
+        self.access_log: List[Tuple[int, int, str]] = []
+        self.mshr_stall_events = 0
+
+    # -- data-side accesses ----------------------------------------------------
+    def data_access(
+        self,
+        line_address: int,
+        cycle: int,
+        pc: int,
+        *,
+        install_l1: bool = True,
+        install_l2: bool = True,
+        update_replacement: bool = True,
+        require_mshr_on_miss: bool = True,
+        kind: str = "load",
+    ) -> Optional[AccessResult]:
+        """Access the data hierarchy for one cache line.
+
+        Returns ``None`` if the access misses L1 and needs an MSHR but none
+        is available — the caller must retry in a later cycle (this is the
+        structural stall that the UV2 interference attack observes).
+        """
+        config = self.config
+        line = self.l1d.line_base(line_address)
+        self.access_log.append((pc, line, kind))
+
+        if self.l1d.lookup(line, update_replacement=update_replacement and install_l1):
+            return AccessResult(latency=config.l1_hit_latency, l1_hit=True, l2_hit=True)
+
+        l2_hit = self.l2.lookup(line, update_replacement=True)
+        fill_latency = config.l2_hit_latency if l2_hit else config.memory_latency
+
+        used_mshr = False
+        if require_mshr_on_miss:
+            mshr = self.mshrs.allocate(line, cycle + fill_latency)
+            if mshr is None:
+                self.access_log.pop()
+                self.mshr_stall_events += 1
+                return None
+            used_mshr = True
+
+        evicted = None
+        installed = None
+        if install_l1:
+            evicted = self.l1d.install(line)
+            installed = line
+        if install_l2 and not l2_hit:
+            self.l2.install(line)
+
+        return AccessResult(
+            latency=config.l1_hit_latency + fill_latency,
+            l1_hit=False,
+            l2_hit=l2_hit,
+            evicted_line=evicted,
+            installed_line=installed,
+            used_mshr=used_mshr,
+        )
+
+    def dtlb_access(self, address: int, install: bool = True) -> int:
+        """Access the data TLB; returns the added latency (0 on a hit)."""
+        hit = self.dtlb.access(address, install=install)
+        return 0 if hit else self.config.tlb_miss_latency
+
+    def instruction_fetch(self, address: int) -> int:
+        """Access the L1I for the line containing ``address``; returns latency."""
+        line = self.l1i.line_base(address)
+        if self.l1i.lookup(line):
+            return 1
+        self.l1i.install(line)
+        self.l2.install(line)
+        return self.config.l1i_miss_latency
+
+    # -- split accesses -----------------------------------------------------------
+    def lines_of_access(self, address: int, size: int) -> List[int]:
+        """Line base addresses touched by an access (two if it crosses a line)."""
+        first = self.l1d.line_base(address)
+        last = self.l1d.line_base(address + max(size, 1) - 1)
+        return [first] if first == last else [first, last]
+
+    # -- white-box state management -------------------------------------------------
+    def reset_caches(self) -> None:
+        self.l1d.flush()
+        self.l1i.flush()
+        self.l2.flush()
+        self.dtlb.flush()
+        self.mshrs.reset()
+        self.access_log.clear()
+        self.mshr_stall_events = 0
+
+    def clear_access_log(self) -> None:
+        self.access_log.clear()
+
+    def prime_l1d(self, address_base: int) -> int:
+        """Fill every L1D set with lines starting at ``address_base``.
+
+        This is AMuLeT's cache-priming step: starting every test from fully
+        occupied sets of *out-of-sandbox* addresses makes leaks visible both
+        through speculative installs (new lines present) and through
+        replacements (primed lines missing).  Returns the number of lines
+        installed.  The primed lines are also installed in L2 so that probes
+        of primed lines are L2 hits rather than memory accesses.
+        """
+        config = self.l1d.config
+        installed = 0
+        for set_index in range(config.sets):
+            addresses = []
+            for way in range(config.ways):
+                address = (
+                    address_base
+                    + way * config.sets * config.line_size
+                    + set_index * config.line_size
+                )
+                addresses.append(address)
+                self.l2.install(address)
+                installed += 1
+            self.l1d.fill_set(set_index, addresses)
+        return installed
+
+    def snapshot_l1d(self) -> Tuple[int, ...]:
+        return self.l1d.snapshot()
+
+    def snapshot_l1i(self) -> Tuple[int, ...]:
+        return self.l1i.snapshot()
+
+    def snapshot_dtlb(self) -> Tuple[int, ...]:
+        return self.dtlb.snapshot()
+
+    def memory_access_order(self) -> Tuple[Tuple[int, int, str], ...]:
+        return tuple(self.access_log)

@@ -1,0 +1,46 @@
+"""Per-run statistics collected by the out-of-order core."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class CoreStatistics:
+    """Counters describing one simulated test-case execution."""
+
+    cycles: int = 0
+    instructions_fetched: int = 0
+    instructions_committed: int = 0
+    instructions_squashed: int = 0
+    loads_executed: int = 0
+    stores_executed: int = 0
+    speculative_loads: int = 0
+    speculative_stores: int = 0
+    branch_mispredictions: int = 0
+    memory_order_violations: int = 0
+    mshr_stalls: int = 0
+    defense_delayed_accesses: int = 0
+    defense_events: Dict[str, int] = field(default_factory=dict)
+
+    def record_defense_event(self, name: str, count: int = 1) -> None:
+        self.defense_events[name] = self.defense_events.get(name, 0) + count
+
+    def as_dict(self) -> Dict[str, object]:
+        data = {
+            "cycles": self.cycles,
+            "instructions_fetched": self.instructions_fetched,
+            "instructions_committed": self.instructions_committed,
+            "instructions_squashed": self.instructions_squashed,
+            "loads_executed": self.loads_executed,
+            "stores_executed": self.stores_executed,
+            "speculative_loads": self.speculative_loads,
+            "speculative_stores": self.speculative_stores,
+            "branch_mispredictions": self.branch_mispredictions,
+            "memory_order_violations": self.memory_order_violations,
+            "mshr_stalls": self.mshr_stalls,
+            "defense_delayed_accesses": self.defense_delayed_accesses,
+        }
+        data.update({f"defense/{k}": v for k, v in self.defense_events.items()})
+        return data

@@ -1,0 +1,66 @@
+"""A small fully-associative data TLB with LRU replacement.
+
+The TLB is part of AMuLeT's default micro-architectural trace (the paper
+snapshots "the final cache and TLB states").  Speculative TLB fills are the
+leak behind the STT violation KV3, which is why STT campaigns use a 128-page
+sandbox: with a single page every access maps to the same TLB entry and TLB
+leakage is invisible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+
+class TLB:
+    """Maps page base addresses to a present/LRU record."""
+
+    def __init__(self, entries: int, page_size: int = 4096) -> None:
+        if entries < 1:
+            raise ValueError("TLB needs at least one entry")
+        self.entries = entries
+        self.page_size = page_size
+        self._pages: Dict[int, int] = {}
+        self._use_counter = 0
+
+    def page_base(self, address: int) -> int:
+        return address - (address % self.page_size)
+
+    def probe(self, address: int) -> bool:
+        return self.page_base(address) in self._pages
+
+    def access(self, address: int, install: bool = True) -> bool:
+        """Look up ``address``; optionally install the page on a miss.
+
+        Returns True on a hit.  ``install=False`` models defenses that block
+        speculative TLB fills (e.g. a patched STT).
+        """
+        page = self.page_base(address)
+        self._use_counter += 1
+        if page in self._pages:
+            self._pages[page] = self._use_counter
+            return True
+        if install:
+            if len(self._pages) >= self.entries:
+                victim = min(self._pages, key=self._pages.get)
+                del self._pages[victim]
+            self._pages[page] = self._use_counter
+        return False
+
+    def invalidate(self, address: int) -> bool:
+        page = self.page_base(address)
+        if page in self._pages:
+            del self._pages[page]
+            return True
+        return False
+
+    def flush(self) -> None:
+        self._pages.clear()
+        self._use_counter = 0
+
+    def snapshot(self) -> Tuple[int, ...]:
+        """Sorted tuple of resident page base addresses."""
+        return tuple(sorted(self._pages))
+
+    def occupancy(self) -> int:
+        return len(self._pages)

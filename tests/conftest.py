@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generator import GeneratorConfig, InputGenerator, ProgramGenerator, Sandbox
+from repro.uarch import UarchConfig
+
+
+@pytest.fixture
+def sandbox() -> Sandbox:
+    """A one-page sandbox (the configuration most defenses are tested with)."""
+    return Sandbox(pages=1)
+
+
+@pytest.fixture
+def program_generator(sandbox: Sandbox) -> ProgramGenerator:
+    return ProgramGenerator(GeneratorConfig(sandbox=sandbox), seed=1234)
+
+
+@pytest.fixture
+def input_generator(sandbox: Sandbox) -> InputGenerator:
+    return InputGenerator(sandbox, seed=1234)
+
+
+@pytest.fixture
+def small_uarch_config() -> UarchConfig:
+    """A small core configuration that keeps simulation fast in unit tests."""
+    return UarchConfig()

@@ -1,0 +1,211 @@
+"""Tests for micro-architectural traces and the simulator executor."""
+
+import pytest
+
+from repro.executor import (
+    BASELINE_TRACE,
+    BP_STATE_TRACE,
+    BRANCH_PREDICTION_ORDER_TRACE,
+    L1I_EXTENDED_TRACE,
+    MEMORY_ACCESS_ORDER_TRACE,
+    ExecutionMode,
+    SimulatorExecutor,
+    get_trace_config,
+)
+from repro.executor.executor import PRIME_REGION_BASE, PrimeStrategy
+from repro.executor.startup import SIMULATE, STARTUP, ModeledTime, TimeModel
+from repro.executor.traces import UarchTrace, build_trace
+from repro.generator import Sandbox
+from repro.litmus.cases import make_input
+from repro.litmus.programs import spectre_v1
+
+
+@pytest.fixture
+def program(sandbox):
+    return spectre_v1(sandbox.aligned_mask)
+
+
+@pytest.fixture
+def inputs(sandbox):
+    return (
+        make_input(sandbox, {"rax": 1, "rbx": 0x100}),
+        make_input(sandbox, {"rax": 1, "rbx": 0x900}),
+    )
+
+
+class TestTraceConfigs:
+    def test_registry_lookup(self):
+        assert get_trace_config("l1d+tlb") is BASELINE_TRACE
+        assert get_trace_config("BP-STATE") is BP_STATE_TRACE
+        with pytest.raises(KeyError):
+            get_trace_config("quantum")
+
+    def test_component_lists(self):
+        assert BASELINE_TRACE.components() == ("l1d", "dtlb")
+        assert "l1i" in L1I_EXTENDED_TRACE.components()
+        assert MEMORY_ACCESS_ORDER_TRACE.components() == ("memory_access_order",)
+        assert BRANCH_PREDICTION_ORDER_TRACE.components() == ("branch_prediction_order",)
+
+
+class TestUarchTrace:
+    def test_equality_and_hash(self):
+        a = UarchTrace(components=(("l1d", (1, 2)),))
+        b = UarchTrace(components=(("l1d", (1, 2)),))
+        c = UarchTrace(components=(("l1d", (1, 3)),))
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_diff_reports_set_difference(self):
+        a = UarchTrace(components=(("l1d", (1, 2)), ("dtlb", (7,))))
+        b = UarchTrace(components=(("l1d", (1, 3)), ("dtlb", (7,))))
+        assert a.differing_components(b) == ("l1d",)
+        diff = a.diff(b)
+        assert diff["l1d"]["only_in_first"] == (2,)
+        assert diff["l1d"]["only_in_second"] == (3,)
+
+    def test_component_accessor(self):
+        trace = UarchTrace(components=(("l1d", (1,)),))
+        assert trace.component("l1d") == (1,)
+        assert trace.component("missing") == ()
+
+
+class TestExecutorModes:
+    def test_opt_mode_starts_one_simulator_per_program(self, sandbox, program, inputs):
+        executor = SimulatorExecutor("baseline", sandbox=sandbox, mode=ExecutionMode.OPT)
+        executor.load_program(program)
+        for test_input in inputs:
+            executor.run_input(test_input)
+        assert executor.simulator_starts == 1
+        assert executor.test_cases_executed == 2
+
+    def test_naive_mode_starts_one_simulator_per_input(self, sandbox, program, inputs):
+        executor = SimulatorExecutor("baseline", sandbox=sandbox, mode=ExecutionMode.NAIVE)
+        executor.load_program(program)
+        for test_input in inputs:
+            executor.run_input(test_input)
+        assert executor.simulator_starts == 2
+
+    def test_run_without_program_raises(self, sandbox, inputs):
+        executor = SimulatorExecutor("baseline", sandbox=sandbox)
+        with pytest.raises(RuntimeError):
+            executor.run_input(inputs[0])
+
+    def test_modeled_time_reflects_the_mode(self, sandbox, program, inputs):
+        opt = SimulatorExecutor("baseline", sandbox=sandbox, mode=ExecutionMode.OPT)
+        naive = SimulatorExecutor("baseline", sandbox=sandbox, mode=ExecutionMode.NAIVE)
+        for executor in (opt, naive):
+            executor.load_program(program)
+            for test_input in inputs:
+                executor.run_input(test_input)
+        assert (
+            naive.time.modeled_seconds[STARTUP]
+            > opt.time.modeled_seconds[STARTUP]
+        )
+
+    def test_opt_mode_carries_predictor_state_between_inputs(self, sandbox, program, inputs):
+        executor = SimulatorExecutor("baseline", sandbox=sandbox, mode=ExecutionMode.OPT)
+        executor.load_program(program)
+        executor.run_input(inputs[0])
+        record = executor.run_input(inputs[0])
+        # The second run of the same input starts from a trained predictor,
+        # so its saved starting context differs from a fresh one.
+        assert record.uarch_context["branch_predictor"]["counters"]
+
+    def test_shared_context_reruns_are_deterministic(self, sandbox, program, inputs):
+        executor = SimulatorExecutor("baseline", sandbox=sandbox)
+        executor.load_program(program)
+        first = executor.run_input(inputs[0])
+        again_a, again_b = executor.run_pair_with_shared_context(
+            inputs[0], inputs[0], first.uarch_context
+        )
+        assert again_a == again_b
+
+    def test_describe_includes_defense_and_mode(self, sandbox):
+        executor = SimulatorExecutor("invisispec", sandbox=sandbox)
+        description = executor.describe()
+        assert description["defense"] == "invisispec"
+        assert description["prime"] == "fill"
+        assert description["mode"] == "opt"
+
+
+class TestPriming:
+    def test_fill_priming_populates_the_l1d(self, sandbox, program, inputs):
+        executor = SimulatorExecutor(
+            "baseline", sandbox=sandbox, prime_strategy=PrimeStrategy.FILL
+        )
+        executor.load_program(program)
+        record = executor.run_input(inputs[0])
+        assert any(line >= PRIME_REGION_BASE for line in record.trace.component("l1d"))
+
+    def test_flush_priming_starts_clean(self, sandbox, program, inputs):
+        executor = SimulatorExecutor(
+            "baseline", sandbox=sandbox, prime_strategy=PrimeStrategy.FLUSH
+        )
+        executor.load_program(program)
+        record = executor.run_input(inputs[0])
+        assert all(line < PRIME_REGION_BASE for line in record.trace.component("l1d"))
+
+    def test_default_priming_follows_the_defense(self, sandbox):
+        assert SimulatorExecutor("invisispec", sandbox=sandbox).prime_strategy is PrimeStrategy.FILL
+        assert SimulatorExecutor("cleanupspec", sandbox=sandbox).prime_strategy is PrimeStrategy.FLUSH
+
+    def test_fill_priming_detects_evictions(self, sandbox, program, inputs):
+        """With primed sets, a speculative install also evicts a primed line,
+        so the trace differs in both directions (install + eviction)."""
+        executor = SimulatorExecutor(
+            "baseline", sandbox=sandbox, prime_strategy=PrimeStrategy.FILL
+        )
+        executor.load_program(program)
+        record_a = executor.run_input(inputs[0])
+        record_b = executor.run_input(inputs[1], uarch_context=record_a.uarch_context)
+        diff = record_a.trace.diff(record_b.trace)
+        assert "l1d" in diff
+        assert any(line >= PRIME_REGION_BASE for line in diff["l1d"]["only_in_first"])
+
+
+class TestTraceFormats:
+    @pytest.mark.parametrize(
+        "trace_config",
+        [BASELINE_TRACE, L1I_EXTENDED_TRACE, BP_STATE_TRACE, MEMORY_ACCESS_ORDER_TRACE, BRANCH_PREDICTION_ORDER_TRACE],
+        ids=lambda config: config.name,
+    )
+    def test_each_format_produces_its_components(self, sandbox, program, inputs, trace_config):
+        executor = SimulatorExecutor("baseline", sandbox=sandbox, trace_config=trace_config)
+        executor.load_program(program)
+        record = executor.run_input(inputs[0])
+        assert tuple(record.trace.as_dict().keys()) == trace_config.components()
+
+    def test_memory_access_order_records_speculative_accesses(self, sandbox, program, inputs):
+        executor = SimulatorExecutor(
+            "baseline", sandbox=sandbox, trace_config=MEMORY_ACCESS_ORDER_TRACE
+        )
+        executor.load_program(program)
+        record = executor.run_input(inputs[0])
+        accesses = record.trace.component("memory_access_order")
+        assert any(line == sandbox.base + 0x100 for _, line, _ in accesses)
+
+
+class TestTimeModel:
+    def test_breakdown_percentages_sum_to_100(self):
+        time_model = ModeledTime(model=TimeModel())
+        time_model.charge_startup(10)
+        time_model.charge_simulation(1000)
+        time_model.charge_trace_extraction(10)
+        breakdown = time_model.breakdown()
+        assert sum(entry["percent"] for entry in breakdown.values()) == pytest.approx(100.0)
+
+    def test_merge_accumulates(self):
+        a = ModeledTime()
+        b = ModeledTime()
+        a.charge_startup(1)
+        b.charge_startup(2)
+        b.charge_simulation(100)
+        a.merge(b)
+        assert a.modeled_seconds[STARTUP] == pytest.approx(3 * a.model.simulator_startup_seconds)
+        assert SIMULATE in a.modeled_seconds
+
+    def test_wall_clock_tracking(self):
+        time_model = ModeledTime()
+        time_model.add_wall_clock(STARTUP, 0.5)
+        time_model.add_wall_clock(STARTUP, 0.25)
+        assert time_model.total_wall_clock() == pytest.approx(0.75)

@@ -1,0 +1,162 @@
+"""Tests for the random program generator, sandbox and input generation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generator import GeneratorConfig, Input, InputGenerator, ProgramGenerator, Sandbox
+from repro.generator.inputs import (
+    MEMORY_GRANULE,
+    memory_taint_label,
+    register_taint_label,
+)
+from repro.generator.sandbox import PAGE_SIZE
+from repro.isa.registers import INPUT_REGISTERS
+from repro.model import CT_SEQ, Emulator
+
+
+class TestSandbox:
+    def test_default_is_one_page(self):
+        sandbox = Sandbox()
+        assert sandbox.size == PAGE_SIZE
+        assert sandbox.mask == PAGE_SIZE - 1
+
+    def test_aligned_mask_is_8_byte_aligned(self):
+        assert Sandbox().aligned_mask % 8 == 0
+
+    def test_multi_page(self):
+        sandbox = Sandbox(pages=128)
+        assert sandbox.size == 128 * PAGE_SIZE
+        assert sandbox.contains(sandbox.base + sandbox.size - 1)
+        assert not sandbox.contains(sandbox.base + sandbox.size)
+
+    def test_page_count_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            Sandbox(pages=3)
+
+    def test_page_of_and_offset_of(self):
+        sandbox = Sandbox(pages=4)
+        assert sandbox.page_of(sandbox.base + PAGE_SIZE + 8) == 1
+        assert sandbox.offset_of(sandbox.base + 8) == 8
+        with pytest.raises(ValueError):
+            sandbox.offset_of(sandbox.base - 1)
+
+
+class TestGeneratorConfig:
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(min_basic_blocks=0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(min_block_instructions=5, max_block_instructions=2)
+        with pytest.raises(ValueError):
+            GeneratorConfig(conditional_branch_probability=1.5)
+        with pytest.raises(ValueError):
+            GeneratorConfig(instruction_weights={})
+
+
+class TestProgramGenerator:
+    def test_deterministic_for_same_seed(self, sandbox):
+        config = GeneratorConfig(sandbox=sandbox)
+        first = ProgramGenerator(config, seed=7).generate()
+        second = ProgramGenerator(config, seed=7).generate()
+        assert first.to_asm() == second.to_asm()
+
+    def test_different_seeds_differ(self, sandbox):
+        config = GeneratorConfig(sandbox=sandbox)
+        a = ProgramGenerator(config, seed=1).generate()
+        b = ProgramGenerator(config, seed=2).generate()
+        assert a.to_asm() != b.to_asm()
+
+    def test_block_count_within_bounds(self, program_generator):
+        for program in program_generator.generate_many(20):
+            # exclude the exit block
+            assert 2 <= len(program.blocks) - 1 <= 5 + 1
+
+    def test_programs_end_with_exit(self, program_generator):
+        for program in program_generator.generate_many(10):
+            assert program.linear_instructions()[-1].is_exit
+
+    def test_memory_accesses_are_masked(self, program_generator):
+        """Every memory access must be preceded by an AND mask of its index."""
+        from repro.isa.instructions import Opcode
+
+        for program in program_generator.generate_many(20):
+            for block in program.blocks:
+                instructions = block.all_instructions()
+                for position, instruction in enumerate(instructions):
+                    operand = instruction.memory_operand
+                    if operand is None or operand.index is None:
+                        continue
+                    previous = instructions[position - 1]
+                    assert previous.opcode is Opcode.AND
+                    assert previous.operands[0].name == operand.index
+
+    def test_generated_programs_terminate_on_the_emulator(
+        self, program_generator, input_generator, sandbox
+    ):
+        """Forward-DAG control flow means every program must reach EXIT."""
+        for program in program_generator.generate_many(15):
+            emulator = Emulator(program, sandbox)
+            result = emulator.run(input_generator.generate_one(), CT_SEQ)
+            assert result.instruction_count > 0
+
+    def test_architectural_accesses_stay_in_sandbox(
+        self, program_generator, input_generator, sandbox
+    ):
+        for program in program_generator.generate_many(15):
+            emulator = Emulator(program, sandbox)
+            result = emulator.run(input_generator.generate_one(), CT_SEQ)
+            for _, _, address in result.architectural_accesses:
+                assert sandbox.contains(address, 1)
+
+
+class TestInputs:
+    def test_input_is_hashable_and_stable(self, input_generator):
+        test_input = input_generator.generate_one()
+        assert test_input.fingerprint() == test_input.fingerprint()
+        assert isinstance(hash(test_input), int)
+
+    def test_inputs_cover_all_input_registers(self, input_generator):
+        registers = input_generator.generate_one().register_dict()
+        assert set(registers) == set(INPUT_REGISTERS)
+
+    def test_memory_matches_sandbox_size(self, input_generator, sandbox):
+        assert len(input_generator.generate_one()) == sandbox.size
+
+    def test_generation_is_deterministic_per_seed(self, sandbox):
+        a = InputGenerator(sandbox, seed=3).generate(5)
+        b = InputGenerator(sandbox, seed=3).generate(5)
+        assert [x.fingerprint() for x in a] == [y.fingerprint() for y in b]
+
+    def test_memory_word_accessor(self, sandbox):
+        test_input = Input.create({"rax": 1}, b"\x05" + bytes(sandbox.size - 1))
+        assert test_input.memory_word(0) == 5
+
+    def test_mutation_preserves_named_locations(self, input_generator):
+        base = input_generator.generate_one()
+        preserve = {register_taint_label("rax"), memory_taint_label(0x40)}
+        variants = input_generator.mutate_preserving(base, preserve, count=5)
+        for variant in variants:
+            assert variant.register_dict()["rax"] == base.register_dict()["rax"]
+            assert (
+                variant.memory[0x40 : 0x40 + MEMORY_GRANULE]
+                == base.memory[0x40 : 0x40 + MEMORY_GRANULE]
+            )
+            assert InputGenerator.preserved_equal(base, variant, preserve)
+
+    def test_mutation_changes_something(self, input_generator):
+        base = input_generator.generate_one()
+        variants = input_generator.mutate_preserving(base, set(), count=3)
+        assert any(variant.fingerprint() != base.fingerprint() for variant in variants)
+
+    @given(offsets=st.sets(st.integers(0, 511), max_size=8), data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_mutation_preservation_property(self, offsets, data):
+        """Whatever set of granules is preserved stays byte-identical."""
+        sandbox = Sandbox()
+        generator = InputGenerator(sandbox, seed=data.draw(st.integers(0, 1000)))
+        base = generator.generate_one()
+        preserve = {memory_taint_label(offset * MEMORY_GRANULE) for offset in offsets}
+        preserve.add(register_taint_label("rdi"))
+        variant = generator.mutate_preserving(base, preserve, count=1)[0]
+        assert InputGenerator.preserved_equal(base, variant, preserve)

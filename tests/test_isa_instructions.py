@@ -1,0 +1,140 @@
+"""Unit tests for instruction definitions and their structural queries."""
+
+import pytest
+
+from repro.isa.instructions import (
+    CONDITION_CODES,
+    Instruction,
+    InstructionClass,
+    Opcode,
+    cmov,
+    cond_branch,
+    exit_instruction,
+    jump,
+    load,
+    nop,
+    store,
+)
+from repro.isa.operands import Immediate, Label, MemoryOperand, Register
+
+
+class TestOperands:
+    def test_register_rejects_unknown_name(self):
+        with pytest.raises(ValueError):
+            Register("xyz")
+
+    def test_memory_operand_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            MemoryOperand(index="rax", size=3)
+
+    def test_memory_operand_rejects_unknown_index(self):
+        with pytest.raises(ValueError):
+            MemoryOperand(index="nope")
+
+    def test_memory_operand_str_mentions_width(self):
+        operand = MemoryOperand(index="rbx", size=4)
+        assert "dword" in str(operand)
+
+    def test_label_str(self):
+        assert str(Label("bb_main.1")) == ".bb_main.1"
+
+
+class TestInstructionClassification:
+    def test_load_is_load_not_store(self):
+        instruction = load("rax", "rbx")
+        assert instruction.is_load and not instruction.is_store
+        assert instruction.instruction_class is InstructionClass.LOAD
+
+    def test_store_is_store_not_load(self):
+        instruction = store("rbx", "rax")
+        assert instruction.is_store and not instruction.is_load
+        assert instruction.instruction_class is InstructionClass.STORE
+
+    def test_rmw_is_both(self):
+        instruction = Instruction(
+            Opcode.XOR, (MemoryOperand(index="rbx"), Register("rdi"))
+        )
+        assert instruction.is_load and instruction.is_store
+        assert instruction.instruction_class is InstructionClass.RMW
+
+    def test_alu_with_memory_source_is_load(self):
+        instruction = Instruction(
+            Opcode.ADD, (Register("rax"), MemoryOperand(index="rbx"))
+        )
+        assert instruction.is_load and not instruction.is_store
+
+    def test_cmov_from_memory_is_load(self):
+        instruction = cmov("z", "rax", MemoryOperand(index="rbx"))
+        assert instruction.is_load and not instruction.is_store
+
+    def test_cmp_with_memory_is_not_store(self):
+        instruction = Instruction(
+            Opcode.CMP, (MemoryOperand(index="rbx"), Register("rax"))
+        )
+        assert instruction.is_load and not instruction.is_store
+
+    def test_branch_classification(self):
+        assert cond_branch("nz", "bb").is_cond_branch
+        assert jump("bb").is_branch and not jump("bb").is_cond_branch
+        assert cond_branch("nz", "bb").instruction_class is InstructionClass.BRANCH
+
+    def test_exit_and_nop(self):
+        assert exit_instruction().is_exit
+        assert nop().instruction_class is InstructionClass.NOP
+
+    def test_condition_required_for_jcc(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.JCC, (Label("bb"),))
+
+    def test_condition_required_for_cmov(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.CMOV, (Register("rax"), Register("rbx")), condition="zzz")
+
+
+class TestRegisterUsage:
+    def test_source_registers_of_alu(self):
+        instruction = Instruction(Opcode.ADD, (Register("rax"), Register("rbx")))
+        assert set(instruction.source_registers()) == {"rax", "rbx"}
+
+    def test_mov_destination_is_not_a_source(self):
+        instruction = Instruction(Opcode.MOV, (Register("rax"), Register("rbx")))
+        assert instruction.source_registers() == ("rbx",)
+
+    def test_cmov_destination_is_also_a_source(self):
+        instruction = cmov("z", "rax", Register("rbx"))
+        assert set(instruction.source_registers()) == {"rax", "rbx"}
+
+    def test_load_sources_include_address_registers(self):
+        instruction = load("rax", "rbx")
+        assert "rbx" in instruction.source_registers()
+        assert "r14" in instruction.source_registers()
+        assert instruction.address_registers() == ("r14", "rbx")
+
+    def test_destination_register(self):
+        assert load("rax", "rbx").destination_register() == "rax"
+        assert store("rbx", "rax").destination_register() is None
+        assert Instruction(Opcode.CMP, (Register("rax"), Immediate(1))).destination_register() is None
+
+    def test_store_source_includes_data_register(self):
+        instruction = store("rbx", "rdi")
+        assert "rdi" in instruction.source_registers()
+
+    def test_flags_usage(self):
+        assert Instruction(Opcode.ADD, (Register("rax"), Immediate(1))).writes_flags
+        assert not Instruction(Opcode.MOV, (Register("rax"), Immediate(1))).writes_flags
+        assert cond_branch("z", "bb").reads_flags
+        assert cmov("z", "rax", Register("rbx")).reads_flags
+
+
+class TestFormatting:
+    @pytest.mark.parametrize("condition", CONDITION_CODES)
+    def test_every_condition_code_formats(self, condition):
+        assert f"j{condition}".upper() in str(cond_branch(condition, "bb"))
+
+    def test_load_formatting(self):
+        text = str(load("rax", "rbx"))
+        assert text.startswith("MOV RAX")
+        assert "[R14 + RBX]" in text
+
+    def test_unique_uids(self):
+        assert nop().uid != nop().uid

@@ -1,0 +1,93 @@
+"""Unit tests for program construction, address assignment and lookup."""
+
+import pytest
+
+from repro.isa.instructions import Instruction, Opcode, cond_branch, exit_instruction, jump, nop
+from repro.isa.operands import Immediate, Register
+from repro.isa.program import DEFAULT_CODE_BASE, INSTRUCTION_SIZE, BasicBlock, Program
+
+
+def _simple_program() -> Program:
+    blocks = [
+        BasicBlock(
+            "bb_main.0",
+            [
+                Instruction(Opcode.CMP, (Register("rax"), Immediate(0))),
+                cond_branch("z", "bb_main.1"),
+            ],
+            jump("bb_main.1"),
+        ),
+        BasicBlock("bb_main.1", [nop()], exit_instruction()),
+    ]
+    return Program(blocks, name="simple")
+
+
+class TestProgramConstruction:
+    def test_requires_at_least_one_block(self):
+        with pytest.raises(ValueError):
+            Program([])
+
+    def test_exit_is_appended_when_missing(self):
+        program = Program([BasicBlock("bb", [nop()])])
+        assert program.linear_instructions()[-1].is_exit
+
+    def test_exit_block_added_when_last_terminator_is_a_jump(self):
+        program = Program(
+            [BasicBlock("a", [nop()], jump("b")), BasicBlock("b", [nop()], jump("a"))]
+        )
+        # A jump terminator on the last block forces an extra exit block.
+        assert program.blocks[-1].terminator.is_exit
+        assert len(program.blocks) == 3
+
+    def test_undefined_branch_target_raises(self):
+        with pytest.raises(ValueError):
+            Program([BasicBlock("bb", [cond_branch("z", "missing")], exit_instruction())])
+
+    def test_branch_operand_must_be_label(self):
+        bad = Instruction(Opcode.JMP, (Register("rax"),))
+        with pytest.raises(TypeError):
+            Program([BasicBlock("bb", [bad], exit_instruction())])
+
+
+class TestAddressing:
+    def test_sequential_pc_assignment(self):
+        program = _simple_program()
+        pcs = [instruction.pc for instruction in program.linear_instructions()]
+        assert pcs == list(
+            range(DEFAULT_CODE_BASE, DEFAULT_CODE_BASE + len(pcs) * INSTRUCTION_SIZE, INSTRUCTION_SIZE)
+        )
+
+    def test_instruction_lookup_by_pc(self):
+        program = _simple_program()
+        for instruction in program.linear_instructions():
+            assert program.instruction_at(instruction.pc) is instruction
+        assert program.instruction_at(program.end_pc) is None
+
+    def test_branch_targets_resolved(self):
+        program = _simple_program()
+        branch = program.linear_instructions()[1]
+        assert branch.target_pc == program.block_address("bb_main.1")
+        assert branch.fallthrough_pc == branch.pc + INSTRUCTION_SIZE
+
+    def test_entry_and_end_pc(self):
+        program = _simple_program()
+        assert program.entry_pc == DEFAULT_CODE_BASE
+        assert program.end_pc == DEFAULT_CODE_BASE + len(program) * INSTRUCTION_SIZE
+
+    def test_custom_code_base(self):
+        program = Program([BasicBlock("bb", [nop()], exit_instruction())], code_base=0x800000)
+        assert program.entry_pc == 0x800000
+
+
+class TestQueries:
+    def test_counts(self):
+        program = _simple_program()
+        assert len(program) == 5
+        assert program.conditional_branch_count() == 1
+        assert program.memory_instruction_count() == 0
+
+    def test_to_asm_contains_block_labels_and_mnemonics(self):
+        text = _simple_program().to_asm()
+        assert ".bb_main.0:" in text
+        assert "JZ" in text
+        assert "EXIT" in text

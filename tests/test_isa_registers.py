@@ -1,0 +1,136 @@
+"""Unit tests for the register file and architectural state."""
+
+import pytest
+
+from repro.isa.registers import (
+    ArchState,
+    FLAG_NAMES,
+    GPR_NAMES,
+    INPUT_REGISTERS,
+    MASK64,
+    SANDBOX_BASE_REGISTER,
+    RegisterFile,
+    SparseMemory,
+)
+
+
+class TestRegisterFile:
+    def test_registers_start_at_zero(self):
+        registers = RegisterFile()
+        assert all(registers.read(name) == 0 for name in GPR_NAMES)
+
+    def test_write_and_read_back(self):
+        registers = RegisterFile()
+        registers.write("rax", 0x1234)
+        assert registers.read("rax") == 0x1234
+
+    def test_write_masks_to_64_bits(self):
+        registers = RegisterFile()
+        registers.write("rbx", (1 << 70) | 5)
+        assert registers.read("rbx") == ((1 << 70) | 5) & MASK64
+
+    def test_unknown_register_write_raises(self):
+        registers = RegisterFile()
+        with pytest.raises(KeyError):
+            registers.write("r99", 1)
+
+    def test_unknown_register_read_raises(self):
+        registers = RegisterFile()
+        with pytest.raises(KeyError):
+            registers.read("bogus")
+
+    def test_copy_is_independent(self):
+        registers = RegisterFile({"rax": 7})
+        clone = registers.copy()
+        clone.write("rax", 9)
+        assert registers.read("rax") == 7
+        assert clone.read("rax") == 9
+
+    def test_equality_compares_contents(self):
+        assert RegisterFile({"rax": 1}) == RegisterFile({"rax": 1})
+        assert RegisterFile({"rax": 1}) != RegisterFile({"rax": 2})
+
+    def test_load_from_only_touches_named_registers(self):
+        registers = RegisterFile({"rbx": 3})
+        registers.load_from({"rax": 5})
+        assert registers.read("rax") == 5
+        assert registers.read("rbx") == 3
+
+    def test_input_registers_are_gprs(self):
+        assert set(INPUT_REGISTERS) <= set(GPR_NAMES)
+        assert SANDBOX_BASE_REGISTER not in INPUT_REGISTERS
+
+
+class TestSparseMemory:
+    def test_unwritten_bytes_read_zero(self):
+        memory = SparseMemory()
+        assert memory.read(0x1000, 8) == 0
+
+    def test_round_trip(self):
+        memory = SparseMemory()
+        memory.write(0x1000, 8, 0x1122334455667788)
+        assert memory.read(0x1000, 8) == 0x1122334455667788
+
+    def test_little_endian_byte_order(self):
+        memory = SparseMemory()
+        memory.write(0x2000, 4, 0xAABBCCDD)
+        assert memory.read(0x2000, 1) == 0xDD
+        assert memory.read(0x2003, 1) == 0xAA
+
+    def test_partial_overlapping_write(self):
+        memory = SparseMemory()
+        memory.write(0x10, 8, 0)
+        memory.write(0x12, 2, 0xFFFF)
+        assert memory.read(0x10, 8) == 0xFFFF0000
+
+
+class TestArchState:
+    def test_sandbox_base_register_is_initialised(self):
+        state = ArchState(sandbox_base=0x200000, sandbox_size=4096)
+        assert state.registers.read(SANDBOX_BASE_REGISTER) == 0x200000
+
+    def test_read_write_inside_sandbox(self):
+        state = ArchState()
+        state.write_memory(state.sandbox_base + 0x10, 8, 0xDEADBEEF)
+        assert state.read_memory(state.sandbox_base + 0x10, 8) == 0xDEADBEEF
+
+    def test_read_write_outside_sandbox(self):
+        state = ArchState()
+        address = state.sandbox_base + state.sandbox_size + 0x100
+        state.write_memory(address, 4, 0x1234)
+        assert state.read_memory(address, 4) == 0x1234
+
+    def test_write_masks_to_access_size(self):
+        state = ArchState()
+        state.write_memory(state.sandbox_base, 2, 0x12345678)
+        assert state.read_memory(state.sandbox_base, 2) == 0x5678
+
+    def test_load_input_resets_rest_of_sandbox(self):
+        state = ArchState()
+        state.write_memory(state.sandbox_base + 100, 1, 0xFF)
+        state.load_input({"rax": 1}, b"\x01\x02")
+        assert state.read_memory(state.sandbox_base, 2) == 0x0201
+        assert state.read_memory(state.sandbox_base + 100, 1) == 0
+
+    def test_load_input_too_large_raises(self):
+        state = ArchState(sandbox_size=4096, sandbox=bytearray(4096))
+        with pytest.raises(ValueError):
+            state.load_input({}, bytes(8192))
+
+    def test_copy_is_deep(self):
+        state = ArchState()
+        state.write_memory(state.sandbox_base, 8, 42)
+        clone = state.copy()
+        clone.write_memory(clone.sandbox_base, 8, 43)
+        assert state.read_memory(state.sandbox_base, 8) == 42
+
+    def test_flag_names_cover_flags_state(self):
+        state = ArchState()
+        assert set(state.flags.as_dict()) == set(FLAG_NAMES)
+
+    def test_iter_sandbox_words(self):
+        state = ArchState()
+        state.write_memory(state.sandbox_base + 8, 8, 99)
+        words = list(state.iter_sandbox_words())
+        assert words[1] == 99
+        assert len(words) == state.sandbox_size // 8

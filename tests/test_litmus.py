@@ -1,0 +1,73 @@
+"""Integration tests: every reported vulnerability reproduces (or not) as the
+paper says, via the directed litmus suite."""
+
+import pytest
+
+from repro.litmus import all_cases, get_case, run_case
+
+
+def _case_ids():
+    return [case.name for case in all_cases()]
+
+
+class TestLitmusRegistry:
+    def test_all_reported_vulnerabilities_are_covered(self):
+        vulnerabilities = {case.vulnerability for case in all_cases()}
+        assert {"Spectre-v1", "Spectre-v4", "UV1", "UV2", "UV3", "UV4", "UV5", "UV6", "KV2", "KV3"} <= vulnerabilities
+
+    def test_lookup_by_name(self):
+        assert get_case("spectre_v1").defense == "baseline"
+        with pytest.raises(KeyError):
+            get_case("not_a_case")
+
+    def test_cases_build_valid_programs_and_inputs(self):
+        for case in all_cases():
+            program, input_a, input_b = case.build()
+            assert len(program) > 0
+            assert input_a != input_b
+            assert len(input_a.memory) == case.sandbox().size
+
+
+class TestOriginalDefenses:
+    @pytest.mark.parametrize("name", _case_ids())
+    def test_expected_outcome_on_the_original_implementation(self, name):
+        case = get_case(name)
+        outcome = run_case(case, patched=False)
+        assert outcome.contract_traces_equal, "litmus inputs must be contract-equivalent"
+        assert outcome.matches_expectation, outcome.summary()
+
+    def test_uv1_leaks_through_the_l1d(self):
+        outcome = run_case(get_case("invisispec_eviction"))
+        assert "l1d" in outcome.differing_components
+
+    def test_uv2_requires_the_l1d_difference_not_just_the_tlb(self):
+        outcome = run_case(get_case("invisispec_mshr_interference"))
+        assert "l1d" in outcome.differing_components
+
+    def test_kv2_is_only_visible_in_the_instruction_cache(self):
+        outcome = run_case(get_case("cleanupspec_unxpec"))
+        assert outcome.differing_components == ("l1i",)
+
+    def test_kv3_leaks_through_the_tlb_only(self):
+        outcome = run_case(get_case("stt_store_tlb"))
+        assert outcome.differing_components == ("dtlb",)
+
+
+class TestPatchedDefenses:
+    @pytest.mark.parametrize(
+        "name",
+        [case.name for case in all_cases() if case.expect_violation_patched is not None],
+    )
+    def test_expected_outcome_on_the_patched_implementation(self, name):
+        case = get_case(name)
+        outcome = run_case(case, patched=True)
+        assert outcome.matches_expectation, outcome.summary()
+
+    def test_patch_fixes_uv1_but_not_uv2(self):
+        assert run_case(get_case("invisispec_eviction"), patched=True).violation is False
+        assert run_case(get_case("invisispec_mshr_interference"), patched=True).violation is True
+
+    def test_patch_fixes_uv3_but_not_uv4_or_uv5(self):
+        assert run_case(get_case("cleanupspec_store"), patched=True).violation is False
+        assert run_case(get_case("cleanupspec_split"), patched=True).violation is True
+        assert run_case(get_case("cleanupspec_too_much_cleaning"), patched=True).violation is True
