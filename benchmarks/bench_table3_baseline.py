@@ -14,6 +14,7 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import attach_rows
+from repro.backends import InlineBackend
 from repro.core import Campaign, FuzzerConfig
 from repro.executor.executor import ExecutionMode
 
@@ -27,7 +28,7 @@ def _campaign(contract: str, mode: ExecutionMode, programs: int) -> dict:
         mode=mode,
         seed=3,
     )
-    result = Campaign(config, instances=1).run()
+    result = Campaign(config, instances=1, backend=InlineBackend()).run()
     detection = result.average_detection_seconds()
     return {
         "contract": contract,
@@ -54,7 +55,7 @@ def test_table3_baseline_naive_vs_opt(benchmark):
         ]
 
     rows.extend(benchmark.pedantic(opt_campaigns, rounds=1, iterations=1))
-    attach_rows(benchmark, "Table 3 (baseline O3 campaigns)", rows)
+    attach_rows(benchmark, "Table 3 (baseline O3 campaigns)", rows, artifact="table3")
 
     ct_seq_naive, ct_seq_opt = rows[0], rows[1]
     # Shape checks: the insecure baseline is flagged under CT-SEQ in both

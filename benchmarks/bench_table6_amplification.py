@@ -17,7 +17,8 @@ import dataclasses
 import pytest
 
 from benchmarks.conftest import attach_rows
-from repro.core import AmuletFuzzer, FuzzerConfig
+from repro.backends import InlineBackend
+from repro.core import Campaign, FuzzerConfig
 from repro.core.amplification import amplification_ladder
 from repro.litmus import get_case, run_case
 
@@ -33,11 +34,11 @@ def _campaign_row(level) -> dict:
         uarch_config=level.apply(),
         seed=3,
     )
-    report = AmuletFuzzer(config).run()
+    result = Campaign(config, instances=1, backend=InlineBackend()).run()
     return {
         "configuration": f"Patched, {level.describe()}",
-        "campaign_violations": len(report.violations),
-        "campaign_seconds": round(report.wall_clock_seconds, 2),
+        "campaign_violations": result.violation_count(),
+        "campaign_seconds": round(result.wall_clock_seconds, 2),
     }
 
 
@@ -61,7 +62,7 @@ def test_table6_invisispec_amplification(benchmark):
         return rows
 
     rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
-    attach_rows(benchmark, "Table 6 (InvisiSpec patched, reduced structures)", rows)
+    attach_rows(benchmark, "Table 6 (InvisiSpec patched, reduced structures)", rows, artifact="table6")
 
     default_row, two_way_row, amplified_row = rows
     # Shape checks: the patched defense is clean without amplification, and

@@ -6,23 +6,50 @@ on a 128-core server.  Absolute numbers therefore differ from the paper; the
 *shape* of each result (who wins, what is detected, where the crossover is)
 is what EXPERIMENTS.md compares.
 
-Each benchmark prints its paper-style table and also attaches the rows to
-``benchmark.extra_info`` so they appear in ``--benchmark-json`` output.
+Each benchmark prints its paper-style table, attaches the rows to
+``benchmark.extra_info`` so they appear in ``--benchmark-json`` output, and
+writes a machine-readable ``BENCH_<name>.json`` artifact under
+``benchmarks/artifacts/`` so the performance trajectory can be compared
+across commits without re-parsing stdout.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import re
+
 import pytest
 
+#: Where per-table JSON artifacts land (gitignored; one file per table).
+ARTIFACT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "artifacts")
 
-def attach_rows(benchmark, label: str, rows) -> None:
-    """Store result rows on the benchmark record and print them."""
+
+def _artifact_name(label: str) -> str:
+    """Slug for a table label: "Table 3 (baseline O3)" -> "table_3_baseline_o3"."""
+    return re.sub(r"[^a-z0-9]+", "_", label.lower()).strip("_")
+
+
+def write_artifact(name: str, label: str, rows) -> str:
+    """Write one table's rows as ``benchmarks/artifacts/BENCH_<name>.json``."""
+    os.makedirs(ARTIFACT_DIR, exist_ok=True)
+    path = os.path.join(ARTIFACT_DIR, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump({"label": label, "rows": rows}, handle, indent=2, default=str)
+        handle.write("\n")
+    return path
+
+
+def attach_rows(benchmark, label: str, rows, artifact: str = None) -> None:
+    """Store result rows on the benchmark record, print them, emit JSON."""
     from repro.reporting import format_table
 
     benchmark.extra_info[label] = rows
+    path = write_artifact(artifact or _artifact_name(label), label, rows)
     print()
     print(f"== {label} ==")
     print(format_table(rows) if isinstance(rows, list) else rows)
+    print(f"[artifact] {os.path.relpath(path)}")
 
 
 @pytest.fixture

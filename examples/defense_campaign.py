@@ -12,6 +12,10 @@ The script mirrors the paper's InvisiSpec study:
    interference) is still there — demonstrated deterministically with the
    directed litmus program from Table 7.
 
+The campaigns run through the pluggable execution backend: instances are
+spread across worker processes, rounds stream back as they complete, and the
+first confirmed violation cancels all outstanding work campaign-wide.
+
 Run with:  python examples/defense_campaign.py
 """
 
@@ -19,7 +23,13 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro import AmuletFuzzer, FuzzerConfig, UarchConfig, unique_violations
+from repro import (
+    Campaign,
+    FuzzerConfig,
+    ProcessPoolBackend,
+    UarchConfig,
+    unique_violations,
+)
 from repro.core.amplification import amplification_ladder
 from repro.litmus import get_case, run_case
 
@@ -28,19 +38,36 @@ def fuzz(defense: str, patched: bool, uarch_config: UarchConfig, label: str) -> 
     config = FuzzerConfig(
         defense=defense,
         patched=patched,
-        programs_per_instance=30,
+        programs_per_instance=15,
         inputs_per_program=14,
         uarch_config=uarch_config,
         seed=3,
         stop_on_violation=True,
     )
-    report = AmuletFuzzer(config).run()
+
+    def on_round(instance_index: int, round_result) -> None:
+        if round_result.violations:
+            print(
+                f"    [stream] instance {instance_index} confirmed a violation at "
+                f"program {round_result.program_index}; cancelling remaining work"
+            )
+
+    result = Campaign(
+        config, instances=2, backend=ProcessPoolBackend(workers=2)
+    ).run(on_round=on_round)
     status = (
-        f"{len(unique_violations(report.violations))} unique violation(s)"
-        if report.detected
+        f"{len(unique_violations(result.violations))} unique violation(s)"
+        if result.detected
         else "no violations"
     )
-    print(f"[{label:<28}] {report.test_cases_executed:4d} test cases -> {status}")
+    cancelled = (
+        f", stopped after {result.rounds_completed}/{result.scheduled_programs} programs"
+        if result.stopped_early
+        else ""
+    )
+    print(
+        f"[{label:<28}] {result.total_test_cases:4d} test cases -> {status}{cancelled}"
+    )
 
 
 def main() -> None:

@@ -9,6 +9,7 @@ The public API mirrors the structure of the paper:
 * :mod:`repro.defenses` -- baseline plus InvisiSpec, CleanupSpec, STT, SpecLFB;
 * :mod:`repro.executor` -- micro-architectural trace extraction (Naive/Opt);
 * :mod:`repro.core` -- the AMuLeT fuzzer, campaigns, analysis and filtering;
+* :mod:`repro.backends` -- pluggable campaign execution (inline / process pool);
 * :mod:`repro.litmus` -- directed programs reproducing each reported leak;
 * :mod:`repro.reporting` -- paper-style tables and the experiment registry.
 
@@ -22,6 +23,13 @@ Quick start::
         print(violation.summary())
 """
 
+from repro.backends import (
+    ExecutionBackend,
+    InlineBackend,
+    ProcessPoolBackend,
+    available_backends,
+    get_backend,
+)
 from repro.core import (
     AmuletFuzzer,
     Campaign,
@@ -49,6 +57,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AmuletFuzzer",
+    "ExecutionBackend",
+    "InlineBackend",
+    "ProcessPoolBackend",
+    "available_backends",
+    "get_backend",
     "Campaign",
     "CampaignResult",
     "FuzzerConfig",

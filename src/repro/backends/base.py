@@ -1,0 +1,71 @@
+"""The campaign execution backend interface.
+
+A campaign is a set of independent fuzzing instances, each a deterministic
+stream of *rounds* (one generated program tested against one defense).  A
+backend decides how those rounds are scheduled onto compute: inline on the
+calling thread, across a persistent process pool, or — in the future — across
+machines.  The contract every backend honours:
+
+* each instance's rounds execute **in order** against one persistent
+  :class:`~repro.core.fuzzer.AmuletFuzzer`, so per-instance results are
+  bit-identical to running that instance alone with the same seed;
+* every completed round is streamed to the caller's ``on_round`` callback as
+  soon as it exists (no waiting for whole instances);
+* when ``stop_on_violation`` is set, the first confirmed violation cancels
+  all outstanding work across **all** instances, not just the one that found
+  it;
+* ``run`` returns one :class:`~repro.core.fuzzer.FuzzerReport` per instance,
+  in instance order, reflecting exactly the rounds that actually executed.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.config import FuzzerConfig, resolve_contract_name
+from repro.core.fuzzer import FuzzerReport, RoundResult
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """Everything a backend needs to execute one campaign."""
+
+    #: Per-instance configurations, seeds already derived (index == instance).
+    configs: Tuple[FuzzerConfig, ...]
+    #: Cancel all outstanding work campaign-wide at the first violation.
+    stop_on_violation: bool = False
+
+    @property
+    def instances(self) -> int:
+        return len(self.configs)
+
+    @property
+    def scheduled_programs(self) -> int:
+        """Total rounds the plan would execute if nothing stops early."""
+        return sum(config.programs_per_instance for config in self.configs)
+
+
+#: Streaming callback: ``on_round(instance_index, round_result)``.
+RoundCallback = Callable[[int, RoundResult], None]
+
+
+class ExecutionBackend(ABC):
+    """Schedules a campaign's rounds onto compute and streams results back."""
+
+    #: Registry key and the name reported in campaign summaries.
+    name: str = "abstract"
+
+    @abstractmethod
+    def run(
+        self, plan: CampaignPlan, on_round: Optional[RoundCallback] = None
+    ) -> List[FuzzerReport]:
+        """Execute ``plan``; stream rounds to ``on_round``; return per-instance reports."""
+
+    @staticmethod
+    def empty_report(config: FuzzerConfig) -> FuzzerReport:
+        """Report for an instance whose work was cancelled before it started."""
+        return FuzzerReport(
+            defense=config.defense, contract=resolve_contract_name(config)
+        )

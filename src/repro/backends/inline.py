@@ -1,0 +1,44 @@
+"""Sequential in-process backend (deterministic, the default)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.backends.base import CampaignPlan, ExecutionBackend, RoundCallback
+from repro.core.fuzzer import AmuletFuzzer, FuzzerReport
+
+
+class InlineBackend(ExecutionBackend):
+    """Runs instances one after another on the calling thread.
+
+    Rounds are still streamed through ``on_round`` as they complete, and
+    ``stop_on_violation`` cancels the instances that have not started yet, so
+    the inline path exercises the same control flow as the parallel one —
+    just with zero concurrency.
+    """
+
+    name = "inline"
+
+    def __init__(self, workers: Optional[int] = None, chunk_size: int = 1) -> None:
+        # Pool-sizing knobs are meaningless without concurrency; accepted (and
+        # ignored) so every registered backend constructs uniformly.
+        del workers, chunk_size
+
+    def run(
+        self, plan: CampaignPlan, on_round: Optional[RoundCallback] = None
+    ) -> List[FuzzerReport]:
+        reports: List[FuzzerReport] = []
+        cancelled = False
+        for instance_index, config in enumerate(plan.configs):
+            if cancelled:
+                reports.append(self.empty_report(config))
+                continue
+            fuzzer = AmuletFuzzer(config)
+            for result in fuzzer.iter_rounds():
+                if on_round is not None:
+                    on_round(instance_index, result)
+                if result.violations and plan.stop_on_violation:
+                    cancelled = True
+                    break
+            reports.append(fuzzer.report)
+        return reports

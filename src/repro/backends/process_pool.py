@@ -1,0 +1,157 @@
+"""Persistent process-pool backend with streaming round scheduling.
+
+Unlike the old ``multiprocessing.Pool.map`` over whole instances, this
+backend keeps one :class:`~repro.core.fuzzer.AmuletFuzzer` alive per instance
+inside a persistent worker process and schedules *rounds* — (instance,
+program_index) work units — in chunks.  Instances are pinned to workers
+(round-robin), which preserves each instance's generator and predictor state
+so per-instance results are identical to a sequential run; within a worker,
+instances are interleaved chunk by chunk so every instance makes progress and
+the cancellation flag is observed at chunk boundaries.
+
+Every completed round is streamed back over a result queue the moment it
+exists.  When ``stop_on_violation`` is set, the worker that confirms a
+violation raises a shared event; all workers stop issuing chunks, flush
+partial reports for their instances, and exit — no instance runs to
+completion just because it was scheduled.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+import traceback
+from itertools import islice
+from typing import List, Optional, Sequence, Tuple
+
+from repro.backends.base import CampaignPlan, ExecutionBackend, RoundCallback
+from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import AmuletFuzzer, FuzzerReport
+
+#: How long the coordinator waits on the result queue before re-checking
+#: worker liveness (guards against a crashed worker deadlocking the campaign).
+_POLL_SECONDS = 0.25
+
+
+def _worker_main(
+    assignments: Sequence[Tuple[int, FuzzerConfig]],
+    chunk_size: int,
+    stop_on_violation: bool,
+    stop_event,
+    results,
+) -> None:
+    """Run all rounds of the assigned instances, interleaved chunk by chunk."""
+    try:
+        active = [
+            (instance_index, AmuletFuzzer(config), config)
+            for instance_index, config in assignments
+        ]
+        rounds = {
+            instance_index: fuzzer.iter_rounds()
+            for instance_index, fuzzer, _ in active
+        }
+        while active:
+            still_active = []
+            for instance_index, fuzzer, config in active:
+                if stop_event.is_set():
+                    results.put(("report", instance_index, fuzzer.report))
+                    continue
+                for result in islice(rounds[instance_index], chunk_size):
+                    results.put(("round", instance_index, result))
+                    if result.violations and stop_on_violation:
+                        stop_event.set()
+                if fuzzer.finished:
+                    results.put(("report", instance_index, fuzzer.report))
+                else:
+                    still_active.append((instance_index, fuzzer, config))
+            active = still_active
+    except BaseException:
+        results.put(("error", None, traceback.format_exc()))
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Schedules campaign rounds across a persistent pool of worker processes."""
+
+    name = "process"
+
+    def __init__(self, workers: Optional[int] = None, chunk_size: int = 1) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be at least 1")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        self.workers = workers
+        self.chunk_size = chunk_size
+
+    def worker_count(self, instances: int) -> int:
+        """Actual number of worker processes used for ``instances`` instances."""
+        requested = self.workers if self.workers is not None else (os.cpu_count() or 2)
+        return max(1, min(requested, instances))
+
+    def run(
+        self, plan: CampaignPlan, on_round: Optional[RoundCallback] = None
+    ) -> List[FuzzerReport]:
+        workers = self.worker_count(plan.instances)
+        context = multiprocessing.get_context()
+        stop_event = context.Event()
+        results = context.Queue()
+
+        # Pin instances to workers round-robin: affinity keeps each fuzzer's
+        # state with its instance, round-robin balances instance counts.
+        assignments: List[List[Tuple[int, FuzzerConfig]]] = [[] for _ in range(workers)]
+        for instance_index, config in enumerate(plan.configs):
+            assignments[instance_index % workers].append((instance_index, config))
+
+        processes = [
+            context.Process(
+                target=_worker_main,
+                args=(assigned, self.chunk_size, plan.stop_on_violation, stop_event, results),
+                daemon=True,
+            )
+            for assigned in assignments
+            if assigned
+        ]
+        for process in processes:
+            process.start()
+
+        reports: dict = {}
+        failure: Optional[str] = None
+        try:
+            while len(reports) < plan.instances and failure is None:
+                try:
+                    kind, instance_index, payload = results.get(timeout=_POLL_SECONDS)
+                except queue_module.Empty:
+                    if not any(process.is_alive() for process in processes):
+                        # The last worker may have flushed its final messages
+                        # into the pipe right as the poll window closed; only
+                        # declare it dead once the queue is confirmed drained.
+                        try:
+                            kind, instance_index, payload = results.get_nowait()
+                        except queue_module.Empty:
+                            failure = "a worker process died without reporting"
+                            continue
+                    else:
+                        continue
+                if kind == "round":
+                    if on_round is not None:
+                        on_round(instance_index, payload)
+                    if payload.violations and plan.stop_on_violation:
+                        stop_event.set()
+                elif kind == "report":
+                    reports[instance_index] = payload
+                else:  # "error"
+                    failure = payload
+        finally:
+            stop_event.set()
+            for process in processes:
+                process.join(timeout=10)
+            for process in processes:
+                if process.is_alive():  # pragma: no cover - last resort
+                    process.terminate()
+                    process.join(timeout=5)
+            results.close()
+            results.join_thread()
+
+        if failure is not None:
+            raise RuntimeError(f"campaign worker failed: {failure}")
+        return [reports[index] for index in range(plan.instances)]

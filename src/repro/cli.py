@@ -3,16 +3,19 @@
 Examples::
 
     amulet-repro --defense baseline --programs 20 --inputs 14
-    amulet-repro --defense invisispec --instances 4 --stop-on-violation
+    amulet-repro --defense invisispec --instances 4 --workers 4 --stop-on-violation
     amulet-repro --defense invisispec --patched --l1d-ways 2 --mshrs 2
+    amulet-repro --instances 4 --workers 4 --json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
+from repro.backends import available_backends
 from repro.core.campaign import Campaign
 from repro.core.config import FuzzerConfig
 from repro.core.filtering import unique_violations
@@ -43,12 +46,57 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--l1d-ways", type=int, default=None, help="amplification: L1D ways")
     parser.add_argument("--mshrs", type=int, default=None, help="amplification: MSHR count")
     parser.add_argument("--stop-on-violation", action="store_true")
-    parser.add_argument("--parallel", action="store_true", help="run instances in processes")
+    parser.add_argument(
+        "--backend",
+        choices=sorted(available_backends()),
+        default=None,
+        help="execution backend (default: inline, or process when --workers > 1)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the process backend (implies --backend process when > 1)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=1,
+        help="rounds a worker runs for one instance before rotating to its next",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print a machine-readable JSON campaign summary instead of the table",
+    )
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="deprecated alias for --backend process",
+    )
     return parser
 
 
+def select_backend(args: argparse.Namespace) -> str:
+    """Backend name implied by the flag combination."""
+    if args.backend is not None:
+        return args.backend
+    if args.parallel or (args.workers is not None and args.workers > 1):
+        return "process"
+    return "inline"
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.workers is not None and args.workers < 1:
+        parser.error("--workers must be at least 1")
+    if args.backend == "inline" and (args.parallel or (args.workers or 1) > 1):
+        parser.error("--backend inline cannot be combined with --workers > 1 or --parallel")
+    if args.chunk_size < 1:
+        parser.error("--chunk-size must be at least 1")
+    if args.instances < 1:
+        parser.error("--instances must be at least 1")
     uarch_config = UarchConfig().with_amplification(
         l1d_ways=args.l1d_ways, mshrs=args.mshrs
     )
@@ -63,14 +111,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         uarch_config=uarch_config,
         stop_on_violation=args.stop_on_violation,
         seed=args.seed,
+        backend=select_backend(args),
+        workers=args.workers,
+        chunk_size=args.chunk_size,
     )
     campaign = Campaign(config, instances=args.instances)
-    result = campaign.run(parallel=args.parallel)
+    result = campaign.run()
+
+    if args.json:
+        print(json.dumps(result.to_json_dict(), indent=2))
+        return 0 if not result.detected else 1
 
     row = result.as_table_row()
     print("campaign summary")
+    print(f"  {'backend':>24}: {result.backend}")
     for key, value in row.items():
         print(f"  {key:>24}: {value}")
+    if result.stopped_early:
+        print(
+            f"  stopped early: {result.rounds_completed}/{result.scheduled_programs} "
+            "scheduled programs executed"
+        )
     groups = unique_violations(result.violations)
     if groups:
         print(f"unique violations: {len(groups)}")

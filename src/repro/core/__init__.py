@@ -11,7 +11,8 @@ leakage amplification configurations, and campaign orchestration with the
 throughput/detection-time metrics reported in Tables 3-6.
 """
 
-from repro.core.config import FuzzerConfig
+from repro.core.config import FuzzerConfig, resolve_contract_name
+from repro.core.seeding import derive_instance_seed, splitmix64
 from repro.core.testcase import TestCase
 from repro.core.violation import Violation
 from repro.core.detector import ViolationDetector, group_by_contract_trace
@@ -24,6 +25,9 @@ from repro.core.minimize import minimize_program
 
 __all__ = [
     "FuzzerConfig",
+    "resolve_contract_name",
+    "derive_instance_seed",
+    "splitmix64",
     "TestCase",
     "Violation",
     "ViolationDetector",

@@ -4,8 +4,10 @@ The paper's campaigns run up to 100 parallel AMuLeT instances, each with its
 own seed, and report per-campaign metrics: whether a violation was detected,
 the average detection time, the number of unique violations, the testing
 throughput, and the campaign execution time (Tables 3, 4 and 6).  The
-:class:`Campaign` class reproduces that orchestration; instances can run
-sequentially (deterministic, the default) or across processes.
+:class:`Campaign` class reproduces that orchestration on top of a pluggable
+:class:`~repro.backends.ExecutionBackend`: instances can run sequentially
+(deterministic, the default) or as streamed round chunks across a persistent
+process pool, with results aggregated incrementally as they arrive.
 """
 
 from __future__ import annotations
@@ -13,23 +15,56 @@ from __future__ import annotations
 import dataclasses
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Union
 
-from repro.core.config import FuzzerConfig
+from repro.core.config import FuzzerConfig, resolve_contract_name
+
+if TYPE_CHECKING:  # imported lazily at runtime: backends depend on core
+    from repro.backends import CampaignPlan, ExecutionBackend
 from repro.core.filtering import unique_violations
-from repro.core.fuzzer import AmuletFuzzer, FuzzerReport
+from repro.core.fuzzer import FuzzerReport, RoundResult
+from repro.core.seeding import derive_instance_seed
 from repro.core.violation import Violation
 
 
 @dataclass
 class CampaignResult:
-    """Aggregated metrics across all instances of a campaign."""
+    """Aggregated metrics across all instances of a campaign.
+
+    Built incrementally: backends stream every completed round through
+    :meth:`record_round`, so the running totals (``rounds_completed``,
+    ``streamed_test_cases``, ``streamed_violations``) are live while the
+    campaign executes; the per-instance ``reports`` land when instances
+    finish (or are cancelled).
+    """
 
     defense: str
     contract: str
     instances: int
+    backend: str = "inline"
     reports: List[FuzzerReport] = field(default_factory=list)
     wall_clock_seconds: float = 0.0
+    #: Total rounds the backend would have run had nothing stopped early.
+    scheduled_programs: int = 0
+    #: Rounds actually completed (streamed), across all instances.
+    rounds_completed: int = 0
+    #: Test cases observed through streaming (matches reports when complete).
+    streamed_test_cases: int = 0
+    #: Violations observed through streaming.
+    streamed_violations: int = 0
+
+    # -- incremental aggregation ------------------------------------------------
+    def record_round(self, instance_index: int, result: RoundResult) -> None:
+        """Fold one streamed round into the running totals."""
+        del instance_index  # totals are campaign-wide
+        self.rounds_completed += 1
+        self.streamed_test_cases += result.test_cases
+        self.streamed_violations += len(result.violations)
+
+    @property
+    def stopped_early(self) -> bool:
+        """True when cancellation ended the campaign before its full budget."""
+        return 0 < self.rounds_completed < self.scheduled_programs
 
     # -- derived metrics --------------------------------------------------------
     @property
@@ -98,42 +133,130 @@ class CampaignResult:
             "campaign_seconds": round(self.wall_clock_seconds, 2),
         }
 
+    def to_json_dict(self) -> Dict[str, object]:
+        """Machine-readable campaign summary (the CLI's ``--json`` payload)."""
+        groups = unique_violations(self.violations)
+        return {
+            "defense": self.defense,
+            "contract": self.contract,
+            "backend": self.backend,
+            "instances": self.instances,
+            "detected": self.detected,
+            "scheduled_programs": self.scheduled_programs,
+            "rounds_completed": self.rounds_completed,
+            "stopped_early": self.stopped_early,
+            "test_cases": self.total_test_cases,
+            "violations": self.violation_count(),
+            "unique_violations": len(groups),
+            "avg_detection_seconds": self.average_detection_seconds(),
+            "campaign_seconds": round(self.wall_clock_seconds, 3),
+            "throughput_per_second": round(self.throughput(), 2),
+            "modeled_seconds": round(self.modeled_seconds(), 3),
+            "violation_groups": [
+                {
+                    "signature": str(signature),
+                    "count": len(members),
+                    "summary": members[0].summary(),
+                }
+                for signature, members in groups.items()
+            ],
+            "instance_reports": [
+                {
+                    "programs_tested": report.programs_tested,
+                    "test_cases_executed": report.test_cases_executed,
+                    "violations": len(report.violations),
+                    "first_detection_seconds": report.first_detection_wall_clock,
+                }
+                for report in self.reports
+            ],
+        }
 
-def _run_instance(config: FuzzerConfig) -> FuzzerReport:
-    return AmuletFuzzer(config).run()
+
+#: Progress callback: ``on_round(instance_index, round_result)``.
+ProgressCallback = Callable[[int, RoundResult], None]
 
 
 class Campaign:
     """Runs ``instances`` independent fuzzing instances with derived seeds."""
 
-    def __init__(self, config: FuzzerConfig, instances: int = 1) -> None:
+    def __init__(
+        self,
+        config: FuzzerConfig,
+        instances: int = 1,
+        backend: Optional[Union[str, ExecutionBackend]] = None,
+    ) -> None:
         if instances < 1:
             raise ValueError("a campaign needs at least one instance")
         self.config = config
         self.instances = instances
+        self.backend = backend
+
+    @property
+    def contract_name(self) -> str:
+        """Contract the campaign tests against (no fuzzer is instantiated)."""
+        return resolve_contract_name(self.config)
 
     def instance_config(self, index: int) -> FuzzerConfig:
         """Configuration for the ``index``-th instance (distinct seed)."""
-        return dataclasses.replace(self.config, seed=self.config.seed + 1000 * (index + 1))
+        return dataclasses.replace(
+            self.config, seed=derive_instance_seed(self.config.seed, index)
+        )
 
-    def run(self, parallel: bool = False) -> CampaignResult:
-        """Execute the campaign; ``parallel=True`` uses a process pool."""
-        started = time.perf_counter()
-        configs = [self.instance_config(index) for index in range(self.instances)]
-        if parallel and self.instances > 1:
-            import multiprocessing
+    def plan(self) -> "CampaignPlan":
+        """The backend-agnostic execution plan for this campaign."""
+        from repro.backends import CampaignPlan
 
-            with multiprocessing.Pool(processes=min(self.instances, 8)) as pool:
-                reports = pool.map(_run_instance, configs)
-        else:
-            reports = [_run_instance(config) for config in configs]
+        return CampaignPlan(
+            configs=tuple(self.instance_config(index) for index in range(self.instances)),
+            stop_on_violation=self.config.stop_on_violation,
+        )
 
-        fuzzer_probe = AmuletFuzzer(configs[0])
+    def resolve_backend(
+        self, backend: Optional[Union[str, ExecutionBackend]] = None, parallel: bool = False
+    ) -> "ExecutionBackend":
+        """Pick the execution backend: explicit argument > constructor > config."""
+        from repro.backends import ExecutionBackend, get_backend
+
+        choice = backend if backend is not None else self.backend
+        if isinstance(choice, ExecutionBackend):
+            return choice
+        name = choice
+        if name is None:
+            name = "process" if parallel else self.config.backend
+        return get_backend(
+            name, workers=self.config.workers, chunk_size=self.config.chunk_size
+        )
+
+    def run(
+        self,
+        parallel: bool = False,
+        backend: Optional[Union[str, ExecutionBackend]] = None,
+        on_round: Optional[ProgressCallback] = None,
+    ) -> CampaignResult:
+        """Execute the campaign and aggregate results as rounds stream in.
+
+        ``backend`` may be a registry name ("inline", "process") or a
+        constructed :class:`ExecutionBackend`; ``parallel=True`` is the legacy
+        spelling of ``backend="process"``.  ``on_round`` is invoked with
+        ``(instance_index, RoundResult)`` for every completed round, in
+        completion order.
+        """
+        executor = self.resolve_backend(backend, parallel=parallel)
+        plan = self.plan()
         result = CampaignResult(
             defense=self.config.defense,
-            contract=fuzzer_probe.contract_name,
+            contract=self.contract_name,
             instances=self.instances,
-            reports=list(reports),
-            wall_clock_seconds=time.perf_counter() - started,
+            backend=executor.name,
+            scheduled_programs=plan.scheduled_programs,
         )
+
+        def handle_round(instance_index: int, round_result: RoundResult) -> None:
+            result.record_round(instance_index, round_result)
+            if on_round is not None:
+                on_round(instance_index, round_result)
+
+        started = time.perf_counter()
+        result.reports = list(executor.run(plan, on_round=handle_round))
+        result.wall_clock_seconds = time.perf_counter() - started
         return result

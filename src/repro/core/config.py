@@ -54,10 +54,21 @@ class FuzzerConfig:
     validate_violations: bool = True
     #: Analyze violations immediately (compute signatures for deduplication).
     analyze_violations: bool = True
-    #: Stop the instance at the first confirmed violation.
+    #: Stop the instance at the first confirmed violation.  In a campaign the
+    #: first confirmed violation also cancels all *other* instances'
+    #: outstanding work (whatever the backend).
     stop_on_violation: bool = False
     #: Seed of this instance (campaigns derive one seed per instance).
     seed: int = 0
+    #: Campaign execution backend ("inline" or "process"); see
+    #: :mod:`repro.backends`.
+    backend: str = "inline"
+    #: Worker processes for pooled backends (None: one per CPU, capped at the
+    #: instance count).
+    workers: Optional[int] = None
+    #: Rounds a pooled worker runs for one instance before rotating to its
+    #: next instance and re-checking the campaign-wide cancellation flag.
+    chunk_size: int = 1
 
     @property
     def base_inputs_per_program(self) -> int:
@@ -67,3 +78,16 @@ class FuzzerConfig:
     def effective_inputs_per_program(self) -> int:
         """Actual number of test cases per program after boosting."""
         return self.base_inputs_per_program * (1 + self.boost_factor)
+
+
+def resolve_contract_name(config: FuzzerConfig) -> str:
+    """The contract a config will be tested against, without building a fuzzer.
+
+    ``AmuletFuzzer`` construction instantiates an executor, a sandbox and a
+    probe defense; resolving the contract only needs the defense class's
+    recommendation, so callers that just want the name (campaign headers,
+    empty reports for cancelled instances) should use this instead.
+    """
+    from repro.defenses.registry import defense_class
+
+    return config.contract or defense_class(config.defense).recommended_contract

@@ -13,10 +13,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from repro.core.analysis import compute_signature
-from repro.core.config import FuzzerConfig
+from repro.core.config import FuzzerConfig, resolve_contract_name
 from repro.core.detector import ViolationDetector
 from repro.core.testcase import TestCase
 from repro.core.violation import Violation
@@ -77,7 +77,7 @@ class AmuletFuzzer:
     def __init__(self, config: FuzzerConfig) -> None:
         self.config = config
         defense_type = defense_class(config.defense)
-        self.contract_name = config.contract or defense_type.recommended_contract
+        self.contract_name = resolve_contract_name(config)
         self.contract = get_contract(self.contract_name)
         sandbox_pages = (
             config.sandbox_pages
@@ -102,6 +102,8 @@ class AmuletFuzzer:
         self.detector = ViolationDetector(config.defense, self.contract_name)
 
         self._start_time: Optional[float] = None
+        self._stopped = False
+        self._target_programs: Optional[int] = None
         self.report = FuzzerReport(defense=config.defense, contract=self.contract_name)
 
     # -- single round -------------------------------------------------------------
@@ -150,14 +152,46 @@ class AmuletFuzzer:
         )
 
     # -- full instance ----------------------------------------------------------------
+    def iter_rounds(self, programs: Optional[int] = None) -> Iterator[RoundResult]:
+        """Stream round results until ``programs`` have been tested.
+
+        The generator is resumable: it picks up at the next untested program,
+        so a scheduler can pull a few rounds, hand the worker slot to another
+        instance, and come back later without losing generator or predictor
+        state.  Iteration ends early when ``stop_on_violation`` is set and a
+        round confirms a violation; ``finished`` reports whether this
+        instance has no more work.
+        """
+        if self._start_time is None:
+            self._start_time = time.perf_counter()
+        total_programs = programs if programs is not None else self.config.programs_per_instance
+        self._target_programs = total_programs
+        while self.report.programs_tested < total_programs and not self._stopped:
+            result = self.run_round(self.report.programs_tested)
+            if result.violations and self.config.stop_on_violation:
+                self._stopped = True
+            yield result
+        self._refresh_report_times()
+
+    @property
+    def finished(self) -> bool:
+        """True once the instance has tested its budget or stopped early.
+
+        The budget is whatever the most recent ``iter_rounds``/``run`` call
+        asked for (the config's ``programs_per_instance`` by default).
+        """
+        target = (
+            self._target_programs
+            if self._target_programs is not None
+            else self.config.programs_per_instance
+        )
+        return self._stopped or self.report.programs_tested >= target
+
     def run(self, programs: Optional[int] = None) -> FuzzerReport:
         """Run the configured number of programs (an entire instance)."""
         self._start_time = time.perf_counter()
-        total_programs = programs if programs is not None else self.config.programs_per_instance
-        for program_index in range(total_programs):
-            result = self.run_round(program_index)
-            if result.violations and self.config.stop_on_violation:
-                break
+        for _ in self.iter_rounds(programs):
+            pass
         self._refresh_report_times()
         return self.report
 

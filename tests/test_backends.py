@@ -1,0 +1,248 @@
+"""Tests for the pluggable campaign execution backends.
+
+Covers the backend contract: inline and process-pool execution produce
+identical aggregated results for identical campaign seeds, rounds stream
+through progress callbacks, early stop cancels outstanding work across all
+instances without leaving orphaned processes, and instance seed derivation is
+collision-free across campaigns.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.backends import (
+    CampaignPlan,
+    InlineBackend,
+    ProcessPoolBackend,
+    available_backends,
+    get_backend,
+)
+from repro.cli import main
+from repro.core import Campaign, FuzzerConfig, derive_instance_seed, resolve_contract_name
+from repro.core.filtering import unique_violations
+from repro.defenses.registry import available_defenses, defense_class
+
+
+def _signatures(result):
+    return sorted(str(signature) for signature in unique_violations(result.violations))
+
+
+class TestBackendRegistry:
+    def test_available_backends(self):
+        assert set(available_backends()) == {"inline", "process"}
+
+    def test_get_backend_instantiates(self):
+        assert isinstance(get_backend("inline"), InlineBackend)
+        pool = get_backend("process", workers=3, chunk_size=2)
+        assert isinstance(pool, ProcessPoolBackend)
+        assert pool.workers == 3
+        assert pool.chunk_size == 2
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(KeyError):
+            get_backend("cluster")
+
+    def test_invalid_pool_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(workers=0)
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(chunk_size=0)
+
+    def test_worker_count_is_capped_by_instances(self):
+        assert ProcessPoolBackend(workers=8).worker_count(3) == 3
+        assert ProcessPoolBackend(workers=2).worker_count(5) == 2
+
+
+class TestContractResolution:
+    def test_resolution_matches_defense_recommendation(self):
+        for defense in available_defenses():
+            config = FuzzerConfig(defense=defense)
+            expected = defense_class(defense).recommended_contract
+            assert resolve_contract_name(config) == expected
+
+    def test_explicit_contract_wins(self):
+        config = FuzzerConfig(defense="baseline", contract="CT-COND")
+        assert resolve_contract_name(config) == "CT-COND"
+
+    def test_campaign_resolves_contract_without_building_a_fuzzer(self, monkeypatch):
+        import repro.backends.inline as inline_module
+
+        def forbidden(config):
+            raise AssertionError("contract resolution must not instantiate a fuzzer")
+
+        monkeypatch.setattr(inline_module, "AmuletFuzzer", forbidden)
+        campaign = Campaign(FuzzerConfig(defense="stt"), instances=2)
+        assert campaign.contract_name == "ARCH-SEQ"
+
+
+class TestSeedDerivation:
+    def test_deterministic(self):
+        assert derive_instance_seed(3, 5) == derive_instance_seed(3, 5)
+
+    def test_no_cross_campaign_collisions(self):
+        """The old additive scheme collided: seed 1000/instance 0 == seed 0/instance 1."""
+        assert derive_instance_seed(1000, 0) != derive_instance_seed(0, 1)
+        seeds = {
+            derive_instance_seed(campaign_seed, index)
+            for campaign_seed in range(4)
+            for index in range(100)
+        }
+        assert len(seeds) == 4 * 100
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            derive_instance_seed(0, -1)
+
+    def test_campaign_uses_derived_seeds(self):
+        campaign = Campaign(FuzzerConfig(seed=3), instances=3)
+        for index in range(3):
+            assert campaign.instance_config(index).seed == derive_instance_seed(3, index)
+
+
+class TestBackendEquivalence:
+    CONFIG = FuzzerConfig(
+        defense="baseline", programs_per_instance=4, inputs_per_program=14, seed=3
+    )
+
+    def test_process_pool_matches_inline(self):
+        inline = Campaign(self.CONFIG, instances=2, backend=InlineBackend()).run()
+        pooled = Campaign(
+            self.CONFIG, instances=2, backend=ProcessPoolBackend(workers=2)
+        ).run()
+        assert inline.total_test_cases == pooled.total_test_cases
+        assert inline.violation_count() == pooled.violation_count()
+        assert _signatures(inline) == _signatures(pooled)
+        assert [report.programs_tested for report in inline.reports] == [
+            report.programs_tested for report in pooled.reports
+        ]
+
+    def test_chunked_scheduling_matches_inline(self):
+        inline = Campaign(self.CONFIG, instances=3, backend=InlineBackend()).run()
+        pooled = Campaign(
+            self.CONFIG, instances=3, backend=ProcessPoolBackend(workers=2, chunk_size=3)
+        ).run()
+        assert inline.total_test_cases == pooled.total_test_cases
+        assert _signatures(inline) == _signatures(pooled)
+
+    def test_rounds_stream_through_the_callback(self):
+        streamed = []
+        result = Campaign(self.CONFIG, instances=2, backend=InlineBackend()).run(
+            on_round=lambda instance, round_result: streamed.append(
+                (instance, round_result.program_index)
+            )
+        )
+        assert len(streamed) == result.rounds_completed == 2 * 4
+        assert result.streamed_test_cases == result.total_test_cases
+        assert {instance for instance, _ in streamed} == {0, 1}
+
+    def test_legacy_parallel_flag_selects_the_process_backend(self):
+        result = Campaign(self.CONFIG, instances=2).run(parallel=True)
+        assert result.backend == "process"
+        assert result.total_test_cases == 2 * 4 * 14
+
+
+class TestEarlyStopCancellation:
+    CONFIG = FuzzerConfig(
+        defense="baseline",
+        programs_per_instance=30,
+        inputs_per_program=14,
+        seed=3,
+        stop_on_violation=True,
+    )
+
+    def test_parallel_early_stop_cancels_outstanding_work(self):
+        result = Campaign(
+            self.CONFIG, instances=4, backend=ProcessPoolBackend(workers=2)
+        ).run()
+        assert result.detected
+        # The campaign must terminate without finishing all scheduled programs.
+        assert result.rounds_completed < result.scheduled_programs == 4 * 30
+        assert result.stopped_early
+        assert sum(report.programs_tested for report in result.reports) < 4 * 30
+        assert len(result.reports) == 4
+
+    def test_parallel_early_stop_leaves_no_orphaned_workers(self):
+        Campaign(self.CONFIG, instances=4, backend=ProcessPoolBackend(workers=2)).run()
+        assert multiprocessing.active_children() == []
+
+    def test_inline_early_stop_skips_remaining_instances(self):
+        result = Campaign(self.CONFIG, instances=3, backend=InlineBackend()).run()
+        assert result.detected
+        assert result.stopped_early
+        # Instances after the detecting one never start.
+        assert result.reports[-1].programs_tested == 0
+        assert result.reports[-1].contract == "CT-SEQ"
+
+
+class TestPlan:
+    def test_plan_carries_derived_configs_and_budget(self):
+        campaign = Campaign(
+            FuzzerConfig(seed=3, programs_per_instance=6, stop_on_violation=True),
+            instances=3,
+        )
+        plan = campaign.plan()
+        assert isinstance(plan, CampaignPlan)
+        assert plan.instances == 3
+        assert plan.scheduled_programs == 18
+        assert plan.stop_on_violation
+        assert len({config.seed for config in plan.configs}) == 3
+
+
+class TestCliJson:
+    def test_json_summary_is_parseable(self, capsys):
+        exit_code = main(
+            [
+                "--defense",
+                "baseline",
+                "--instances",
+                "2",
+                "--workers",
+                "2",
+                "--programs",
+                "2",
+                "--inputs",
+                "7",
+                "--seed",
+                "3",
+                "--json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "process"
+        assert payload["instances"] == 2
+        assert payload["scheduled_programs"] == 4
+        assert payload["rounds_completed"] == 4
+        assert payload["test_cases"] == 2 * 2 * 7
+        assert exit_code == (1 if payload["detected"] else 0)
+
+    def test_workers_flag_implies_process_backend(self, capsys):
+        main(["--programs", "1", "--inputs", "7", "--instances", "2", "--workers", "2"])
+        assert "backend" in capsys.readouterr().out
+
+    def test_chunk_size_flag_reaches_the_backend(self):
+        from repro.cli import build_parser, select_backend
+
+        args = build_parser().parse_args(["--workers", "4", "--chunk-size", "5"])
+        assert args.chunk_size == 5
+        assert select_backend(args) == "process"
+        args = build_parser().parse_args([])
+        assert select_backend(args) == "inline"
+
+    def test_contradictory_backend_and_workers_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--backend", "inline", "--workers", "4"])
+        assert "cannot be combined" in capsys.readouterr().err
+
+    def test_partial_run_budget_is_respected_by_finished(self):
+        from repro.core import AmuletFuzzer
+
+        fuzzer = AmuletFuzzer(
+            FuzzerConfig(defense="baseline", programs_per_instance=10, inputs_per_program=7)
+        )
+        fuzzer.run(programs=2)
+        assert fuzzer.report.programs_tested == 2
+        assert fuzzer.finished
