@@ -1,0 +1,258 @@
+"""Tracked fuzzing-throughput benchmark (``BENCH_throughput.json``).
+
+The paper's headline metric is *test cases per second* against simulated
+secure-speculation defenses.  This benchmark measures it three ways:
+
+* **end-to-end** — a real fuzzing campaign per defense (inline backend,
+  fixed seed): generation, contract traces, boosting, simulation, detection;
+* **emulator-only** — contract-trace extraction under CT-COND (speculative
+  exploration plus taint tracking) on a fixed program/input set;
+* **core-only** — O3 simulation of a fixed program/input set on the
+  baseline defense, no fuzzing around it.
+
+``benchmarks/throughput_baseline.json`` is the pre-``DecodedProgram``
+recording (checked in, produced with ``--record-baseline`` at the previous
+commit); every run embeds it in the artifact next to the live numbers so
+the speedup trajectory survives across PRs.  ``--check-floor`` compares the
+end-to-end number against ``benchmarks/throughput_floor.json`` and exits
+non-zero on a >30% regression (the CI smoke job).
+
+Run it with::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.backends import InlineBackend
+from repro.core import Campaign, FuzzerConfig
+from repro.executor.executor import ExecutionMode, SimulatorExecutor
+from repro.generator.config import GeneratorConfig
+from repro.generator.inputs import InputGenerator
+from repro.generator.program_generator import ProgramGenerator
+from repro.generator.sandbox import Sandbox
+from repro.model.contracts import get_contract
+from repro.model.emulator import Emulator
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ARTIFACT_PATH = os.path.join(HERE, "artifacts", "BENCH_throughput.json")
+BASELINE_PATH = os.path.join(HERE, "throughput_baseline.json")
+FLOOR_PATH = os.path.join(HERE, "throughput_floor.json")
+
+SEED = 7
+DEFENSES = ("baseline", "invisispec", "stt", "cleanupspec", "speclfb")
+
+#: Budgets shared by the baseline recording and every later measurement —
+#: the speedup ratio is only meaningful on identical workloads.
+FULL_BUDGET = {"programs": 6, "inputs": 14, "micro_programs": 4, "micro_inputs": 10}
+SMOKE_BUDGET = {"programs": 2, "inputs": 7, "micro_programs": 2, "micro_inputs": 4}
+
+
+def _fixed_workload(count: int, inputs: int):
+    sandbox = Sandbox()
+    program_generator = ProgramGenerator(GeneratorConfig(sandbox=sandbox), seed=SEED)
+    input_generator = InputGenerator(sandbox, seed=SEED)
+    programs = [program_generator.generate() for _ in range(count)]
+    test_inputs = [input_generator.generate_one() for _ in range(inputs)]
+    return sandbox, programs, test_inputs
+
+
+def measure_end_to_end(defense: str, programs: int, inputs: int) -> Dict[str, object]:
+    """One inline-backend campaign; returns test-cases/sec and a time split."""
+    config = FuzzerConfig(
+        defense=defense,
+        programs_per_instance=programs,
+        inputs_per_program=inputs,
+        seed=SEED,
+    )
+    campaign = Campaign(config, instances=1, backend=InlineBackend())
+    started = time.perf_counter()
+    result = campaign.run()
+    elapsed = time.perf_counter() - started
+    payload = result.to_json_dict()
+    row: Dict[str, object] = {
+        "defense": defense,
+        "test_cases": result.total_test_cases,
+        "seconds": round(elapsed, 3),
+        "test_cases_per_second": round(result.total_test_cases / elapsed, 2),
+        "violations": result.violation_count(),
+    }
+    if "time_breakdown" in payload:
+        row["time_breakdown"] = payload["time_breakdown"]
+    return row
+
+
+def measure_emulator_only(programs: int, inputs: int) -> Dict[str, object]:
+    """Contract-trace throughput under CT-COND (speculation + taint)."""
+    sandbox, program_list, test_inputs = _fixed_workload(programs, inputs)
+    contract = get_contract("CT-COND")
+    runs = 0
+    started = time.perf_counter()
+    for program in program_list:
+        emulator = Emulator(program, sandbox)
+        for test_input in test_inputs:
+            emulator.run(test_input, contract)
+            runs += 1
+    elapsed = time.perf_counter() - started
+    return {
+        "runs": runs,
+        "seconds": round(elapsed, 3),
+        "traces_per_second": round(runs / elapsed, 2),
+    }
+
+
+def measure_core_only(programs: int, inputs: int) -> Dict[str, object]:
+    """O3 simulation throughput (baseline defense, OPT lifecycle)."""
+    sandbox, program_list, test_inputs = _fixed_workload(programs, inputs)
+    runs = 0
+    instructions = 0
+    started = time.perf_counter()
+    for program in program_list:
+        executor = SimulatorExecutor(
+            defense_factory="baseline", sandbox=sandbox, mode=ExecutionMode.OPT
+        )
+        executor.load_program(program)
+        for test_input in test_inputs:
+            record = executor.run_input(test_input)
+            instructions += record.result.instructions_committed
+            runs += 1
+    elapsed = time.perf_counter() - started
+    return {
+        "runs": runs,
+        "instructions_committed": instructions,
+        "seconds": round(elapsed, 3),
+        "simulations_per_second": round(runs / elapsed, 2),
+        "instructions_per_second": round(instructions / elapsed, 1),
+    }
+
+
+def run_suite(budget: Dict[str, int], defenses=DEFENSES) -> Dict[str, object]:
+    end_to_end: List[Dict[str, object]] = []
+    for defense in defenses:
+        row = measure_end_to_end(defense, budget["programs"], budget["inputs"])
+        end_to_end.append(row)
+        print(
+            f"  end-to-end {defense:12s} {row['test_cases_per_second']:>8} tc/s "
+            f"({row['test_cases']} test cases in {row['seconds']}s)"
+        )
+    emulator_row = measure_emulator_only(budget["micro_programs"], budget["micro_inputs"])
+    print(f"  emulator-only (CT-COND)   {emulator_row['traces_per_second']:>8} traces/s")
+    core_row = measure_core_only(budget["micro_programs"], budget["micro_inputs"])
+    print(f"  core-only (baseline O3)   {core_row['simulations_per_second']:>8} sims/s")
+    return {
+        "budget": dict(budget),
+        "seed": SEED,
+        "end_to_end": end_to_end,
+        "emulator_only": emulator_row,
+        "core_only": core_row,
+    }
+
+
+def _headline(suite: Dict[str, object]) -> Optional[float]:
+    """End-to-end test-cases/sec for the baseline defense."""
+    for row in suite.get("end_to_end", []):
+        if row.get("defense") == "baseline":
+            return float(row["test_cases_per_second"])
+    return None
+
+
+def _load_json(path: str) -> Optional[dict]:
+    if not os.path.exists(path):
+        return None
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true", help="tiny budget (CI)")
+    parser.add_argument(
+        "--record-baseline",
+        action="store_true",
+        help=f"write the measurement to {os.path.relpath(BASELINE_PATH)} instead of comparing",
+    )
+    parser.add_argument(
+        "--check-floor",
+        action="store_true",
+        help="fail (exit 1) if end-to-end throughput regresses >30%% below the floor",
+    )
+    args = parser.parse_args(argv)
+
+    budget = SMOKE_BUDGET if args.smoke else FULL_BUDGET
+    label = "smoke" if args.smoke else "full"
+    print(f"== throughput benchmark ({label} budget) ==")
+    suite = run_suite(budget)
+
+    if args.record_baseline:
+        with open(BASELINE_PATH, "w") as handle:
+            json.dump(suite, handle, indent=2)
+            handle.write("\n")
+        print(f"[baseline] recorded to {os.path.relpath(BASELINE_PATH)}")
+        return 0
+
+    artifact: Dict[str, object] = {
+        "label": "Fuzzing throughput (test cases per second)",
+        "budget_label": label,
+        "current": suite,
+    }
+
+    baseline = _load_json(BASELINE_PATH)
+    if baseline is not None and baseline.get("budget") == suite["budget"]:
+        artifact["pre_pr_baseline"] = baseline
+        speedups: Dict[str, float] = {}
+        base_rows = {row["defense"]: row for row in baseline.get("end_to_end", [])}
+        for row in suite["end_to_end"]:
+            base = base_rows.get(row["defense"])
+            if base and base["test_cases_per_second"]:
+                speedups[row["defense"]] = round(
+                    row["test_cases_per_second"] / base["test_cases_per_second"], 2
+                )
+        base_emu = baseline.get("emulator_only", {}).get("traces_per_second")
+        if base_emu:
+            speedups["emulator_only"] = round(
+                suite["emulator_only"]["traces_per_second"] / base_emu, 2
+            )
+        base_core = baseline.get("core_only", {}).get("simulations_per_second")
+        if base_core:
+            speedups["core_only"] = round(
+                suite["core_only"]["simulations_per_second"] / base_core, 2
+            )
+        artifact["speedup_vs_pre_pr"] = speedups
+        print("  speedup vs pre-PR baseline: " + json.dumps(speedups))
+    elif baseline is not None:
+        artifact["pre_pr_baseline"] = baseline
+        artifact["speedup_vs_pre_pr"] = None
+        print("  [warn] baseline budget differs from current budget; no speedups computed")
+
+    os.makedirs(os.path.dirname(ARTIFACT_PATH), exist_ok=True)
+    with open(ARTIFACT_PATH, "w") as handle:
+        json.dump(artifact, handle, indent=2)
+        handle.write("\n")
+    print(f"[artifact] {os.path.relpath(ARTIFACT_PATH)}")
+
+    if args.check_floor:
+        floor = _load_json(FLOOR_PATH)
+        headline = _headline(suite)
+        if floor is None or headline is None:
+            print("[floor] missing floor file or headline measurement", file=sys.stderr)
+            return 1
+        minimum = float(floor["end_to_end_test_cases_per_second"]) * 0.7
+        verdict = "ok" if headline >= minimum else "REGRESSION"
+        print(
+            f"[floor] end-to-end {headline:.1f} tc/s vs floor "
+            f"{floor['end_to_end_test_cases_per_second']} (-30% => {minimum:.1f}): {verdict}"
+        )
+        if headline < minimum:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -118,6 +118,38 @@ class CampaignResult:
             return 0.0
         return self.total_test_cases / modeled
 
+    def time_breakdown(self) -> Dict[str, Dict[str, float]]:
+        """Where campaign time went, aggregated over instances.
+
+        Sums each instance's per-component modeled and wall-clock seconds
+        (gem5 startup / simulate / trace extraction / generation / ...) and
+        derives each component's share of the total, so benchmark artifacts
+        show the Table-2-style split rather than a single opaque number.
+        """
+        modeled: Dict[str, float] = {}
+        wall_clock: Dict[str, float] = {}
+        for report in self.reports:
+            for component, seconds in report.modeled_breakdown.items():
+                modeled[component] = modeled.get(component, 0.0) + seconds
+            for component, seconds in report.wall_clock_breakdown.items():
+                wall_clock[component] = wall_clock.get(component, 0.0) + seconds
+
+        def _shares(per_component: Dict[str, float]) -> Dict[str, float]:
+            total = sum(per_component.values())
+            if total <= 0:
+                return {component: 0.0 for component in per_component}
+            return {
+                component: round(100.0 * seconds / total, 1)
+                for component, seconds in per_component.items()
+            }
+
+        return {
+            "modeled_seconds": {k: round(v, 4) for k, v in modeled.items()},
+            "modeled_percent": _shares(modeled),
+            "wall_clock_seconds": {k: round(v, 4) for k, v in wall_clock.items()},
+            "wall_clock_percent": _shares(wall_clock),
+        }
+
     def as_table_row(self) -> Dict[str, object]:
         """The Table-4 style summary row for this campaign."""
         detection = self.average_detection_seconds()
@@ -152,6 +184,7 @@ class CampaignResult:
             "campaign_seconds": round(self.wall_clock_seconds, 3),
             "throughput_per_second": round(self.throughput(), 2),
             "modeled_seconds": round(self.modeled_seconds(), 3),
+            "time_breakdown": self.time_breakdown(),
             "violation_groups": [
                 {
                     "signature": str(signature),

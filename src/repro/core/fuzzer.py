@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.core.analysis import compute_signature
 from repro.core.config import FuzzerConfig, resolve_contract_name
@@ -53,6 +53,11 @@ class FuzzerReport:
     modeled_seconds: float = 0.0
     first_detection_wall_clock: Optional[float] = None
     first_detection_modeled: Optional[float] = None
+    #: Per-component seconds (startup / simulate / trace extraction / ...),
+    #: mirrored from the executor's ModeledTime so campaign artifacts can
+    #: show where the time went, not just totals.
+    modeled_breakdown: Dict[str, float] = field(default_factory=dict)
+    wall_clock_breakdown: Dict[str, float] = field(default_factory=dict)
 
     @property
     def detected(self) -> bool:
@@ -265,3 +270,5 @@ class AmuletFuzzer:
         if self._start_time is not None:
             self.report.wall_clock_seconds = time.perf_counter() - self._start_time
         self.report.modeled_seconds = self.executor.time.total_modeled()
+        self.report.modeled_breakdown = dict(self.executor.time.modeled_seconds)
+        self.report.wall_clock_breakdown = dict(self.executor.time.wall_clock_seconds)

@@ -53,7 +53,7 @@ class STTDefense(Defense):
     def _tainting_loads(self, entry) -> List[object]:
         """Speculative, still-unsafe loads whose data reaches the address."""
         producers = self.core.producer_chain(
-            entry, entry.instruction.address_registers()
+            entry, entry.decoded.address_registers
         )
         return [
             producer

@@ -105,9 +105,16 @@ class InputGenerator:
             name: self._random_value(rng, self.register_value_bits)
             for name in INPUT_REGISTERS
         }
+        # The granule loop dominates campaign generation time for defenses
+        # with large sandboxes, so ``_random_value`` is inlined with bound
+        # methods; the RNG consumption sequence (one ``random()`` then one
+        # ``getrandbits``) must stay identical to keep seeded streams stable.
+        uniform = rng.random
+        getrandbits = rng.getrandbits
+        bits = self.memory_value_bits
         memory = bytearray(self.sandbox.size)
         for offset in range(0, self.sandbox.size, MEMORY_GRANULE):
-            word = self._random_value(rng, self.memory_value_bits)
+            word = getrandbits(4) if uniform() < 0.25 else getrandbits(bits)
             memory[offset : offset + MEMORY_GRANULE] = word.to_bytes(
                 MEMORY_GRANULE, "little"
             )
@@ -133,17 +140,24 @@ class InputGenerator:
         (in particular the contract trace that produced the taint set) is
         unchanged.
         """
+        # Loop offsets are granule-aligned, so the preserve check reduces to
+        # plain offset membership — no ``("mem", offset)`` tuple per granule.
+        preserved_offsets = {which for kind, which in preserve if kind == "mem"}
+        fingerprint = base.fingerprint() & MASK64
+        bits = self.memory_value_bits
         variants: List[Input] = []
         for index in range(count):
-            rng = random.Random((base.fingerprint() & MASK64) ^ (salt << 8) ^ (index + 1))
+            rng = random.Random(fingerprint ^ (salt << 8) ^ (index + 1))
             registers = base.register_dict()
             for name in INPUT_REGISTERS:
                 if register_taint_label(name) not in preserve:
                     registers[name] = self._random_value(rng, self.register_value_bits)
+            uniform = rng.random
+            getrandbits = rng.getrandbits
             memory = bytearray(base.memory)
             for offset in range(0, self.sandbox.size, MEMORY_GRANULE):
-                if memory_taint_label(offset) not in preserve:
-                    word = self._random_value(rng, self.memory_value_bits)
+                if offset not in preserved_offsets:
+                    word = getrandbits(4) if uniform() < 0.25 else getrandbits(bits)
                     memory[offset : offset + MEMORY_GRANULE] = word.to_bytes(
                         MEMORY_GRANULE, "little"
                     )

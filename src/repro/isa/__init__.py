@@ -41,11 +41,13 @@ from repro.isa.instructions import (
     store,
 )
 from repro.isa.program import BasicBlock, Program
+from repro.isa.decoded import DecodedInstruction, DecodedProgram, decode_program
 from repro.isa.semantics import (
     ExecutionEffect,
     alu_compute,
     compute_effective_address,
     condition_holds,
+    condition_predicate,
     execute_on_state,
 )
 
@@ -75,9 +77,13 @@ __all__ = [
     "store",
     "BasicBlock",
     "Program",
+    "DecodedInstruction",
+    "DecodedProgram",
+    "decode_program",
     "ExecutionEffect",
     "alu_compute",
     "compute_effective_address",
     "condition_holds",
+    "condition_predicate",
     "execute_on_state",
 ]

@@ -109,6 +109,19 @@ class FlagsState:
     def as_dict(self) -> Dict[str, bool]:
         return {name: getattr(self, name) for name in FLAG_NAMES}
 
+    def as_tuple(self) -> tuple:
+        """The five flags in :data:`FLAG_NAMES` order, allocation-free."""
+        return (self.zf, self.sf, self.cf, self.of, self.pf)
+
+    def load_tuple(self, values: tuple) -> None:
+        """Restore flags captured by :meth:`as_tuple`."""
+        self.zf, self.sf, self.cf, self.of, self.pf = values
+
+    def get(self, name: str, default: bool = False) -> bool:
+        """Mapping-style read, so semantics helpers accept a FlagsState
+        directly instead of forcing an ``as_dict()`` allocation per step."""
+        return getattr(self, name, default)
+
     def update(self, new_flags: Mapping[str, bool]) -> None:
         for name, value in new_flags.items():
             if name not in FLAG_NAMES:
@@ -219,8 +232,8 @@ class ArchState:
                 f"({self.sandbox_size} bytes)"
             )
         self.sandbox[: len(data)] = data
-        for index in range(len(data), self.sandbox_size):
-            self.sandbox[index] = 0
+        if len(data) < self.sandbox_size:
+            self.sandbox[len(data) :] = bytes(self.sandbox_size - len(data))
 
     def iter_sandbox_words(self, word_size: int = 8) -> Iterable[int]:
         """Yield the sandbox contents as little-endian words."""

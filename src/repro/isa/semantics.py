@@ -33,39 +33,52 @@ def _sign_bit(value: int, size: int) -> int:
 
 
 def _parity_even(value: int) -> bool:
-    return bin(value & 0xFF).count("1") % 2 == 0
+    return (value & 0xFF).bit_count() % 2 == 0
+
+
+#: One predicate per condition code, taking the five flags positionally.
+#: :class:`~repro.isa.decoded.DecodedInstruction` binds the predicate once at
+#: decode time so the hot path never rebuilds a lookup table per evaluation.
+CONDITION_PREDICATES: Dict[str, Callable[[bool, bool, bool, bool, bool], bool]] = {
+    "z": lambda zf, sf, cf, of, pf: zf,
+    "nz": lambda zf, sf, cf, of, pf: not zf,
+    "s": lambda zf, sf, cf, of, pf: sf,
+    "ns": lambda zf, sf, cf, of, pf: not sf,
+    "o": lambda zf, sf, cf, of, pf: of,
+    "no": lambda zf, sf, cf, of, pf: not of,
+    "l": lambda zf, sf, cf, of, pf: sf != of,
+    "ge": lambda zf, sf, cf, of, pf: sf == of,
+    "le": lambda zf, sf, cf, of, pf: zf or (sf != of),
+    "g": lambda zf, sf, cf, of, pf: (not zf) and (sf == of),
+    "b": lambda zf, sf, cf, of, pf: cf,
+    "nb": lambda zf, sf, cf, of, pf: not cf,
+    "be": lambda zf, sf, cf, of, pf: cf or zf,
+    "a": lambda zf, sf, cf, of, pf: (not cf) and (not zf),
+    "p": lambda zf, sf, cf, of, pf: pf,
+    "np": lambda zf, sf, cf, of, pf: not pf,
+}
+
+
+def condition_predicate(condition: str) -> Callable[[bool, bool, bool, bool, bool], bool]:
+    """Resolve a condition code to its flag predicate once."""
+    try:
+        return CONDITION_PREDICATES[condition]
+    except KeyError:
+        raise ValueError(f"unknown condition code: {condition}") from None
 
 
 def condition_holds(condition: str, flags: Dict[str, bool]) -> bool:
     """Evaluate an x86-style condition code against a flags dictionary."""
-    zf, sf, cf, of, pf = (
-        flags.get("zf", False),
-        flags.get("sf", False),
-        flags.get("cf", False),
-        flags.get("of", False),
-        flags.get("pf", False),
+    predicate = condition_predicate(condition)
+    return bool(
+        predicate(
+            flags.get("zf", False),
+            flags.get("sf", False),
+            flags.get("cf", False),
+            flags.get("of", False),
+            flags.get("pf", False),
+        )
     )
-    table: Dict[str, bool] = {
-        "z": zf,
-        "nz": not zf,
-        "s": sf,
-        "ns": not sf,
-        "o": of,
-        "no": not of,
-        "l": sf != of,
-        "ge": sf == of,
-        "le": zf or (sf != of),
-        "g": (not zf) and (sf == of),
-        "b": cf,
-        "nb": not cf,
-        "be": cf or zf,
-        "a": (not cf) and (not zf),
-        "p": pf,
-        "np": not pf,
-    }
-    if condition not in table:
-        raise ValueError(f"unknown condition code: {condition}")
-    return table[condition]
 
 
 def alu_compute(
@@ -208,7 +221,10 @@ def evaluate(
     The caller provides the view of registers, flags and memory the
     instruction should execute against; this is what lets the out-of-order
     core route memory reads through its load/store queue (forwarding,
-    speculative bypass) while still using the same semantics.
+    speculative bypass) while still using the same semantics.  ``flags`` is
+    anything with a mapping-style ``get`` — a plain dict or a
+    :class:`~repro.isa.registers.FlagsState` (which avoids the per-step
+    ``as_dict`` allocation on the hot path).
     """
     effect = ExecutionEffect()
     opcode = instruction.opcode
@@ -319,7 +335,7 @@ def execute_on_state(instruction: Instruction, state: ArchState) -> ExecutionEff
     effect = evaluate(
         instruction,
         state.registers.read,
-        state.flags.as_dict(),
+        state.flags,
         state.read_memory,
     )
     for name, value in effect.register_writes.items():

@@ -5,6 +5,11 @@ observations required by a leakage contract's observation clause, explores
 the additional paths required by its execution clause (mispredicted
 conditional branches for ``CT-COND``-style contracts), and simultaneously
 tracks which input locations influence the resulting contract trace.
+
+The hot loops run over a :class:`~repro.isa.decoded.DecodedProgram`: every
+structural question (is this a load? which registers feed the address?)
+was answered once at decode time, and architectural effects still come
+exclusively from :mod:`repro.isa.semantics`.
 """
 
 from __future__ import annotations
@@ -14,10 +19,10 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.generator.inputs import Input, TaintLabel
 from repro.generator.sandbox import Sandbox
-from repro.isa.instructions import Instruction, Opcode
+from repro.isa.decoded import DecodedInstruction, decode_program
 from repro.isa.program import Program
 from repro.isa.registers import ArchState
-from repro.isa.semantics import ExecutionEffect, condition_holds, execute_on_state
+from repro.isa.semantics import ExecutionEffect, evaluate, execute_on_state
 from repro.model.contracts import Contract
 from repro.model.taint import TaintState
 
@@ -79,10 +84,12 @@ class ModelResult:
 class _UndoLog:
     """Undo log used to roll back speculative contract execution."""
 
+    __slots__ = ("state", "register_old", "flags_old", "memory_old")
+
     def __init__(self, state: ArchState) -> None:
         self.state = state
         self.register_old: List[Tuple[str, int]] = []
-        self.flags_old = state.flags.as_dict()
+        self.flags_old = state.flags.as_tuple()
         self.memory_old: List[Tuple[int, int, int]] = []
 
     def record_effect(self, effect: ExecutionEffect) -> None:
@@ -97,7 +104,7 @@ class _UndoLog:
             self.state.write_memory(address, size, value)
         for name, value in reversed(self.register_old):
             self.state.registers.write(name, value)
-        self.state.flags.update(self.flags_old)
+        self.state.flags.load_tuple(self.flags_old)
 
 
 class Emulator:
@@ -110,8 +117,12 @@ class Emulator:
         instruction_limit: int = DEFAULT_INSTRUCTION_LIMIT,
     ) -> None:
         self.program = program
+        self.decoded = decode_program(program)
         self.sandbox = sandbox or Sandbox()
         self.instruction_limit = instruction_limit
+        # Reused across runs: load_input() rewrites every byte, so a single
+        # buffer replaces a fresh bytearray allocation per test input.
+        self._sandbox_buffer = bytearray(self.sandbox.size)
 
     # -- public API ---------------------------------------------------------
     def run(self, test_input: Input, contract: Contract) -> ModelResult:
@@ -119,7 +130,7 @@ class Emulator:
         state = ArchState(
             sandbox_base=self.sandbox.base,
             sandbox_size=self.sandbox.size,
-            sandbox=bytearray(self.sandbox.size),
+            sandbox=self._sandbox_buffer,
         )
         state.load_input(test_input.register_dict(), test_input.memory)
         taint = TaintState(self.sandbox)
@@ -165,10 +176,13 @@ class Emulator:
         counters: Dict[str, int],
     ) -> None:
         """Execute the architectural path from the program entry until EXIT."""
-        pc: Optional[int] = self.program.entry_pc
+        at_pc = self.decoded.at_pc
+        flags = state.flags
+        explore_branches = contract.speculate_branches and contract.max_nesting > 0
+        pc: Optional[int] = self.decoded.entry_pc
         while pc is not None:
-            instruction = self.program.instruction_at(pc)
-            if instruction is None or instruction.is_exit:
+            entry = at_pc(pc)
+            if entry is None or entry.is_exit:
                 break
             if counters["architectural"] >= self.instruction_limit:
                 raise EmulationError(
@@ -177,21 +191,17 @@ class Emulator:
                 )
 
             self._observe_and_taint(
-                instruction, state, taint, contract, observations, accesses, False
+                entry, state, taint, contract, observations, accesses, False
             )
 
             # Explore the mispredicted direction of conditional branches.
-            if (
-                instruction.is_cond_branch
-                and contract.speculate_branches
-                and contract.max_nesting > 0
-            ):
-                taken = condition_holds(instruction.condition, state.flags.as_dict())
-                wrong_pc = (
-                    instruction.fallthrough_pc if taken else instruction.target_pc
+            if entry.is_cond_branch and explore_branches:
+                taken = entry.cond_predicate(
+                    flags.zf, flags.sf, flags.cf, flags.of, flags.pf
                 )
+                wrong_pc = entry.fallthrough_pc if taken else entry.target_pc
                 spec_undo = _UndoLog(state)
-                spec_taint_snapshot = taint.snapshot()
+                spec_taint_mark = taint.snapshot()
                 self._run_speculative(
                     state,
                     taint,
@@ -205,10 +215,10 @@ class Emulator:
                     spec_undo,
                 )
                 spec_undo.rollback()
-                taint.restore(spec_taint_snapshot)
+                taint.restore(spec_taint_mark)
 
-            effect = execute_on_state(instruction, state)
-            self._propagate_taint(instruction, effect, taint)
+            effect = execute_on_state(entry.instruction, state)
+            self._propagate_taint(entry, effect, taint)
 
             executed_pcs.append(pc)
             counters["architectural"] += 1
@@ -230,30 +240,29 @@ class Emulator:
         """Run a bounded speculative path, recording undo information."""
         if start_pc is None:
             return
+        at_pc = self.decoded.at_pc
+        flags = state.flags
+        nest_branches = contract.speculate_branches and nesting < contract.max_nesting
         pc: Optional[int] = start_pc
         executed = 0
         while pc is not None and executed < contract.speculation_window:
-            instruction = self.program.instruction_at(pc)
-            if instruction is None or instruction.is_exit:
+            entry = at_pc(pc)
+            if entry is None or entry.is_exit:
                 break
-            if instruction.opcode is Opcode.LFENCE:
+            if entry.is_fence:
                 break
 
             self._observe_and_taint(
-                instruction, state, taint, contract, observations, accesses, True
+                entry, state, taint, contract, observations, accesses, True
             )
 
-            if (
-                instruction.is_cond_branch
-                and contract.speculate_branches
-                and nesting < contract.max_nesting
-            ):
-                taken = condition_holds(instruction.condition, state.flags.as_dict())
-                wrong_pc = (
-                    instruction.fallthrough_pc if taken else instruction.target_pc
+            if entry.is_cond_branch and nest_branches:
+                taken = entry.cond_predicate(
+                    flags.zf, flags.sf, flags.cf, flags.of, flags.pf
                 )
+                wrong_pc = entry.fallthrough_pc if taken else entry.target_pc
                 nested_undo = _UndoLog(state)
-                nested_snapshot = taint.snapshot()
+                nested_mark = taint.snapshot()
                 self._run_speculative(
                     state,
                     taint,
@@ -267,28 +276,19 @@ class Emulator:
                     nested_undo,
                 )
                 nested_undo.rollback()
-                taint.restore(nested_snapshot)
+                taint.restore(nested_mark)
 
             # Record old values before applying so the caller can roll back.
-            effect = self._peek_effect(instruction, state)
+            effect = evaluate(
+                entry.instruction, state.registers.read, flags, state.read_memory
+            )
             undo.record_effect(effect)
             self._apply_effect(effect, state)
-            self._propagate_taint(instruction, effect, taint)
+            self._propagate_taint(entry, effect, taint)
 
             counters["speculative"] += 1
             executed += 1
             pc = effect.next_pc
-
-    @staticmethod
-    def _peek_effect(instruction: Instruction, state: ArchState) -> ExecutionEffect:
-        from repro.isa.semantics import evaluate
-
-        return evaluate(
-            instruction,
-            state.registers.read,
-            state.flags.as_dict(),
-            state.read_memory,
-        )
 
     @staticmethod
     def _apply_effect(effect: ExecutionEffect, state: ArchState) -> None:
@@ -303,7 +303,7 @@ class Emulator:
     # -- observation and taint --------------------------------------------------
     def _observe_and_taint(
         self,
-        instruction: Instruction,
+        entry: DecodedInstruction,
         state: ArchState,
         taint: TaintState,
         contract: Contract,
@@ -311,54 +311,51 @@ class Emulator:
         accesses: List[Tuple[str, int, int]],
         speculative: bool,
     ) -> None:
-        from repro.isa.semantics import compute_effective_address
-
         if contract.expose_pc:
-            observations.append(("pc", instruction.pc))
-            if instruction.is_cond_branch:
+            observations.append(("pc", entry.pc))
+            if entry.is_cond_branch:
                 # The branch direction (and hence the PC sequence) depends on
                 # the flags, so the flags' input sources are contract-relevant.
                 taint.mark_relevant(taint.flag_taint)
 
-        memory_operand = instruction.memory_operand
-        if memory_operand is not None and instruction.is_memory_access:
-            address = compute_effective_address(memory_operand, state.registers.read)
-            address_taint = taint.registers(instruction.address_registers())
+        if entry.is_memory_access:
+            address = entry.effective_address(state.registers.read)
+            address_taint = taint.registers(entry.address_registers)
             if contract.expose_memory_address:
-                if instruction.is_load:
+                if entry.is_load:
                     observations.append(("load", address))
-                if instruction.is_store:
+                if entry.is_store:
                     observations.append(("store", address))
                 taint.mark_relevant(address_taint)
-            if instruction.is_load and contract.expose_load_values:
-                value = state.read_memory(address, memory_operand.size)
+            if entry.is_load and contract.expose_load_values:
+                value = state.read_memory(address, entry.mem_size)
                 observations.append(("val", value))
-                taint.mark_relevant(taint.memory(address, memory_operand.size))
+                taint.mark_relevant(taint.memory(address, entry.mem_size))
                 taint.mark_relevant(address_taint)
             if not speculative:
-                if instruction.is_load:
-                    accesses.append(("load", instruction.pc, address))
-                if instruction.is_store:
-                    accesses.append(("store", instruction.pc, address))
+                if entry.is_load:
+                    accesses.append(("load", entry.pc, address))
+                if entry.is_store:
+                    accesses.append(("store", entry.pc, address))
 
     def _propagate_taint(
         self,
-        instruction: Instruction,
+        entry: DecodedInstruction,
         effect: ExecutionEffect,
         taint: TaintState,
     ) -> None:
-        value_taint = taint.registers(instruction.source_registers())
-        if instruction.reads_flags:
+        value_taint = taint.registers(entry.source_registers)
+        if entry.reads_flags:
             value_taint |= taint.flag_taint
         if effect.memory_read is not None:
             address, size = effect.memory_read
             value_taint |= taint.memory(address, size)
-            value_taint |= taint.registers(instruction.address_registers())
+            value_taint |= taint.registers(entry.address_registers)
 
-        destination = instruction.destination_register()
+        destination = entry.destination_register
         if destination is not None:
             taint.set_register(destination, value_taint)
-        if instruction.writes_flags:
+        if entry.writes_flags:
             taint.set_flags(value_taint)
         if effect.memory_write is not None:
             address, size, _ = effect.memory_write

@@ -27,6 +27,9 @@ from repro.isa.registers import GPR_NAMES, INPUT_REGISTERS, SANDBOX_BASE_REGISTE
 
 EMPTY: FrozenSet[TaintLabel] = frozenset()
 
+#: Journal sentinel: the granule had no explicit entry before the write.
+_ABSENT = object()
+
 
 class TaintState:
     """Tracks taint sets for registers, flags and sandbox memory granules."""
@@ -46,6 +49,11 @@ class TaintState:
         self._memory_taints: Dict[int, FrozenSet[TaintLabel]] = {}
         #: input locations that influence the contract trace.
         self.relevant: Set[TaintLabel] = set()
+        #: undo journal for speculative exploration; entries are
+        #: ``(kind, key, old_value)`` and only recorded while at least one
+        #: snapshot is outstanding, so the architectural path pays nothing.
+        self._journal: list = []
+        self._speculation_depth = 0
 
     # -- reads ---------------------------------------------------------------
     def register(self, name: str) -> FrozenSet[TaintLabel]:
@@ -75,9 +83,13 @@ class TaintState:
     def set_register(self, name: str, taint: FrozenSet[TaintLabel]) -> None:
         if name == SANDBOX_BASE_REGISTER:
             return
+        if self._speculation_depth:
+            self._journal.append(("reg", name, self.register_taints.get(name, EMPTY)))
         self.register_taints[name] = taint
 
     def set_flags(self, taint: FrozenSet[TaintLabel]) -> None:
+        if self._speculation_depth:
+            self._journal.append(("flags", None, self.flag_taint))
         self.flag_taint = taint
 
     def set_memory(self, address: int, size: int, taint: FrozenSet[TaintLabel]) -> None:
@@ -86,11 +98,16 @@ class TaintState:
         first = self.sandbox.offset_of(address)
         last = min(first + max(size, 1) - 1, self.sandbox.size - 1)
         offset = (first // 8) * 8
+        journaling = self._speculation_depth > 0
         while offset <= last:
             # A partial-granule store merges with what is already there.
             existing = self._memory_taints.get(
                 offset, frozenset({memory_taint_label(offset)})
             )
+            if journaling:
+                self._journal.append(
+                    ("mem", offset, self._memory_taints.get(offset, _ABSENT))
+                )
             if size >= 8 and first <= offset and offset + 8 <= first + size:
                 self._memory_taints[offset] = taint
             else:
@@ -105,14 +122,31 @@ class TaintState:
         return set(self.relevant)
 
     # -- checkpointing (for speculative contract paths) -----------------------------
-    def snapshot(self) -> dict:
-        return {
-            "registers": dict(self.register_taints),
-            "flags": self.flag_taint,
-            "memory": dict(self._memory_taints),
-        }
+    def snapshot(self) -> int:
+        """Open a speculative scope; returns a mark for :meth:`restore`.
 
-    def restore(self, snapshot: dict) -> None:
-        self.register_taints = dict(snapshot["registers"])
-        self.flag_taint = snapshot["flags"]
-        self._memory_taints = dict(snapshot["memory"])
+        Snapshots are journal marks rather than state copies: writes made
+        while at least one snapshot is outstanding record their old value,
+        and ``restore`` replays the journal back to the mark.  Nested
+        speculation simply stacks marks.  ``relevant`` is deliberately not
+        rolled back — speculative observations stay contract-relevant.
+        """
+        self._speculation_depth += 1
+        return len(self._journal)
+
+    def restore(self, mark: int) -> None:
+        """Undo every write journalled since the matching :meth:`snapshot`."""
+        journal = self._journal
+        registers = self.register_taints
+        memory = self._memory_taints
+        while len(journal) > mark:
+            kind, key, old = journal.pop()
+            if kind == "reg":
+                registers[key] = old
+            elif kind == "flags":
+                self.flag_taint = old
+            elif old is _ABSENT:
+                memory.pop(key, None)
+            else:
+                memory[key] = old
+        self._speculation_depth -= 1

@@ -18,24 +18,27 @@ Architectural values always come from :mod:`repro.isa.semantics`; the cache
 hierarchy, TLB and predictors are footprint/timing models only, so the core
 cannot diverge architecturally from the leakage model.  All data-cache and
 TLB interactions are delegated to the attached :class:`repro.defenses.Defense`.
+
+Static instruction metadata comes from a decode-once
+:class:`~repro.isa.decoded.DecodedProgram`: the pipeline stages execute the
+same dynamic instruction thousands of times per campaign and read its
+structural properties as plain attributes instead of re-deriving them from
+the operand tuple every cycle.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.defenses.base import Defense
 from repro.generator.inputs import Input
 from repro.generator.sandbox import Sandbox
+from repro.isa.decoded import DecodedInstruction, decode_program
 from repro.isa.instructions import Instruction, Opcode
 from repro.isa.program import INSTRUCTION_SIZE, Program
 from repro.isa.registers import ArchState
-from repro.isa.semantics import (
-    compute_effective_address,
-    condition_holds,
-    evaluate,
-)
+from repro.isa.semantics import evaluate
 from repro.uarch.branch_predictor import BranchPredictor
 from repro.uarch.config import UarchConfig
 from repro.uarch.memory_dep import MemoryDependencePredictor
@@ -52,62 +55,98 @@ BRANCH_RESOLVE_LATENCY = 4
 FETCH_AHEAD_LINES = 256
 
 
-@dataclass
 class InFlightInstruction:
-    """One dynamic instruction in the core's window."""
+    """One dynamic instruction in the core's window.
 
-    seq: int
-    instruction: Instruction
-    pc: int
-    # Dispatch-time dependence information.
-    sources: Dict[str, Optional[int]] = field(default_factory=dict)
-    flags_source: Optional[int] = None
-    # Branch prediction.
-    predicted_taken: Optional[bool] = None
-    predicted_target: Optional[int] = None
-    actual_taken: Optional[bool] = None
-    resolved: bool = False
-    mispredicted: bool = False
-    # Execution status.
-    status: str = "waiting"  # waiting -> executing -> done -> committed
-    execute_cycle: Optional[int] = None
-    finish_cycle: Optional[int] = None
-    effect: Optional[object] = None
-    result_registers: Dict[str, int] = field(default_factory=dict)
-    flags_out: Optional[Dict[str, bool]] = None
-    # Memory behaviour.
-    mem_address: Optional[int] = None
-    mem_size: int = 0
-    line_addresses: List[int] = field(default_factory=list)
-    is_split: bool = False
-    forwarded_from: Optional[int] = None
-    wait_for_store_commit: Optional[int] = None
-    bypassed_stores: Set[int] = field(default_factory=set)
-    memory_value: Optional[int] = None
-    # Speculation status.
-    speculative: bool = False
-    unsafe_deps: Set[int] = field(default_factory=set)
-    safe_notified: bool = False
-    squashed: bool = False
-    # Per-defense annotations (speculative buffers, cleanup metadata, ...).
-    defense_data: Dict[str, object] = field(default_factory=dict)
+    ``decoded`` carries the static metadata; the frequently consulted flags
+    (``is_load``, ``is_store``, ...) are mirrored as plain attributes because
+    the commit/safety/execute loops test them every cycle.
+    """
 
-    # -- convenience -----------------------------------------------------------
-    @property
-    def is_load(self) -> bool:
-        return self.instruction.is_load
+    __slots__ = (
+        "seq",
+        "decoded",
+        "instruction",
+        "pc",
+        "is_load",
+        "is_store",
+        "is_memory_access",
+        "is_cond_branch",
+        "sources",
+        "flags_source",
+        "predicted_taken",
+        "predicted_target",
+        "actual_taken",
+        "resolved",
+        "mispredicted",
+        "status",
+        "execute_cycle",
+        "finish_cycle",
+        "effect",
+        "result_registers",
+        "flags_out",
+        "mem_address",
+        "mem_size",
+        "line_addresses",
+        "is_split",
+        "forwarded_from",
+        "wait_for_store_commit",
+        "bypassed_stores",
+        "memory_value",
+        "speculative",
+        "unsafe_deps",
+        "safe_notified",
+        "squashed",
+        "defense_data",
+    )
 
-    @property
-    def is_store(self) -> bool:
-        return self.instruction.is_store
-
-    @property
-    def is_memory_access(self) -> bool:
-        return self.instruction.is_memory_access
-
-    @property
-    def is_cond_branch(self) -> bool:
-        return self.instruction.is_cond_branch
+    def __init__(
+        self,
+        seq: int,
+        decoded: DecodedInstruction,
+        predicted_taken: Optional[bool] = None,
+        predicted_target: Optional[int] = None,
+    ) -> None:
+        self.seq = seq
+        self.decoded = decoded
+        self.instruction: Instruction = decoded.instruction
+        self.pc: int = decoded.pc
+        self.is_load: bool = decoded.is_load
+        self.is_store: bool = decoded.is_store
+        self.is_memory_access: bool = decoded.is_memory_access
+        self.is_cond_branch: bool = decoded.is_cond_branch
+        # Dispatch-time dependence information.
+        self.sources: Dict[str, Optional[int]] = {}
+        self.flags_source: Optional[int] = None
+        # Branch prediction.
+        self.predicted_taken = predicted_taken
+        self.predicted_target = predicted_target
+        self.actual_taken: Optional[bool] = None
+        self.resolved = False
+        self.mispredicted = False
+        # Execution status.
+        self.status = "waiting"  # waiting -> executing -> done -> committed
+        self.execute_cycle: Optional[int] = None
+        self.finish_cycle: Optional[int] = None
+        self.effect: Optional[object] = None
+        self.result_registers: Dict[str, int] = {}
+        self.flags_out: Optional[Dict[str, bool]] = None
+        # Memory behaviour.
+        self.mem_address: Optional[int] = None
+        self.mem_size = 0
+        self.line_addresses: List[int] = []
+        self.is_split = False
+        self.forwarded_from: Optional[int] = None
+        self.wait_for_store_commit: Optional[int] = None
+        self.bypassed_stores: Set[int] = set()
+        self.memory_value: Optional[int] = None
+        # Speculation status.
+        self.speculative = False
+        self.unsafe_deps: Set[int] = set()
+        self.safe_notified = False
+        self.squashed = False
+        # Per-defense annotations (speculative buffers, cleanup metadata, ...).
+        self.defense_data: Dict[str, object] = {}
 
     def overlaps(self, other: "InFlightInstruction") -> bool:
         """Do the memory ranges of two executed accesses overlap?"""
@@ -118,15 +157,24 @@ class InFlightInstruction:
         return a_start < b_end and b_start < a_end
 
 
-@dataclass
 class SimulationResult:
     """Summary of one simulated test-case execution."""
 
-    cycles: int
-    instructions_committed: int
-    exit_reached: bool
-    stats: CoreStatistics
-    final_registers: Dict[str, int] = field(default_factory=dict)
+    __slots__ = ("cycles", "instructions_committed", "exit_reached", "stats", "final_registers")
+
+    def __init__(
+        self,
+        cycles: int,
+        instructions_committed: int,
+        exit_reached: bool,
+        stats: CoreStatistics,
+        final_registers: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self.cycles = cycles
+        self.instructions_committed = instructions_committed
+        self.exit_reached = exit_reached
+        self.stats = stats
+        self.final_registers = final_registers if final_registers is not None else {}
 
 
 class SimulationError(RuntimeError):
@@ -146,6 +194,7 @@ class O3Core:
         from repro.defenses.baseline import BaselineDefense
 
         self.program = program
+        self.decoded = decode_program(program)
         self.config = config or UarchConfig()
         self.sandbox = sandbox or Sandbox()
         self.memory = MemorySystem(self.config)
@@ -160,11 +209,13 @@ class O3Core:
         self.defense = defense or BaselineDefense()
         self.defense.attach(self)
 
-        # Per-run state, initialised by run().
+        # Per-run state, initialised by run().  The sandbox buffer is reused
+        # across runs: load_input() rewrites every byte.
+        self._sandbox_buffer = bytearray(self.sandbox.size)
         self.arch_state: Optional[ArchState] = None
         self.stats = CoreStatistics()
         self.branch_prediction_log: List[Tuple[int, int]] = []
-        self._rob: List[InFlightInstruction] = []
+        self._rob: Deque[InFlightInstruction] = deque()
         self._entries: Dict[int, InFlightInstruction] = {}
         self._rename_map: Dict[str, int] = {}
         self._flags_producer: Optional[int] = None
@@ -175,6 +226,8 @@ class O3Core:
         self._exit_fetched = False
         self._exit_committed_cycle: Optional[int] = None
         self._stall_commit_until = 0
+        self._loads_in_flight = 0
+        self._stores_in_flight = 0
         self.cycle = 0
 
     # ======================================================================
@@ -190,19 +243,23 @@ class O3Core:
         """
         self._reset_run_state(test_input)
         config = self.config
+        max_cycles = config.max_cycles
+        drain_cycles = config.drain_cycles
+        expire = self.memory.mshrs.expire
+        tick = self.defense.tick
 
         while True:
             self.cycle += 1
             cycle = self.cycle
-            if cycle > config.max_cycles:
+            if cycle > max_cycles:
                 break
-            self.memory.mshrs.expire(cycle)
-            self.defense.tick(cycle)
+            expire(cycle)
+            tick(cycle)
             self._writeback(cycle)
             self._update_safety(cycle)
             self._commit(cycle)
             if self._exit_committed_cycle is not None:
-                if cycle >= self._exit_committed_cycle + config.drain_cycles:
+                if cycle >= self._exit_committed_cycle + drain_cycles:
                     break
                 continue
             self._execute(cycle)
@@ -267,7 +324,7 @@ class O3Core:
                 continue
             result.append(producer)
             frontier.extend(producer.sources.values())
-            if producer.flags_source is not None and producer.instruction.reads_flags:
+            if producer.flags_source is not None and producer.decoded.reads_flags:
                 frontier.append(producer.flags_source)
         return result
 
@@ -278,12 +335,12 @@ class O3Core:
         self.arch_state = ArchState(
             sandbox_base=self.sandbox.base,
             sandbox_size=self.sandbox.size,
-            sandbox=bytearray(self.sandbox.size),
+            sandbox=self._sandbox_buffer,
         )
         self.arch_state.load_input(test_input.register_dict(), test_input.memory)
         self.stats = CoreStatistics()
         self.branch_prediction_log = []
-        self._rob = []
+        self._rob = deque()
         self._entries = {}
         self._rename_map = {}
         self._flags_producer = None
@@ -294,6 +351,8 @@ class O3Core:
         self._exit_fetched = False
         self._exit_committed_cycle = None
         self._stall_commit_until = 0
+        self._loads_in_flight = 0
+        self._stores_in_flight = 0
         self.cycle = 0
         self.memory.clear_access_log()
         self.defense.reset_for_run()
@@ -302,7 +361,9 @@ class O3Core:
     # pipeline stages
     # ======================================================================
     def _writeback(self, cycle: int) -> None:
-        for entry in list(self._rob):
+        # Iterating self._rob directly is safe: _resolve_branch's squash
+        # replaces self._rob with a fresh deque instead of mutating it.
+        for entry in self._rob:
             if entry.status != "executing" or entry.finish_cycle is None:
                 continue
             if entry.finish_cycle > cycle:
@@ -318,19 +379,22 @@ class O3Core:
         entry.mispredicted = True
         self.stats.branch_mispredictions += 1
         correct_pc = (
-            entry.instruction.target_pc
+            entry.decoded.target_pc
             if entry.actual_taken
-            else entry.instruction.fallthrough_pc
+            else entry.decoded.fallthrough_pc
         )
         self._squash_from(entry.seq + 1, correct_pc, cycle)
 
     def _update_safety(self, cycle: int) -> None:
         for entry in self._rob:
-            if entry.squashed or entry.safe_notified:
+            if (
+                not entry.is_memory_access
+                or entry.safe_notified
+                or entry.squashed
+            ):
                 continue
-            if not entry.is_memory_access:
-                continue
-            if entry.status not in ("executing", "done"):
+            status = entry.status
+            if status != "done" and status != "executing":
                 continue
             if not self._deps_resolved(entry):
                 continue
@@ -352,21 +416,28 @@ class O3Core:
         if cycle < self._stall_commit_until:
             return
         committed = 0
-        while self._rob and committed < self.config.commit_width:
-            head = self._rob[0]
+        rob = self._rob
+        while rob and committed < self.config.commit_width:
+            head = rob[0]
             if head.status != "done":
                 break
             self._commit_entry(head, cycle)
-            self._rob.pop(0)
+            rob.popleft()
+            if head.is_load:
+                self._loads_in_flight -= 1
+            if head.is_store:
+                self._stores_in_flight -= 1
             committed += 1
-            if head.instruction.is_exit:
+            if head.decoded.is_exit:
                 self._exit_committed_cycle = cycle
                 # Anything younger than EXIT is wrong-path work; discard it.
-                for leftover in self._rob:
+                for leftover in rob:
                     leftover.squashed = True
                     self.defense.on_squash(leftover, cycle)
                     self.stats.instructions_squashed += 1
-                self._rob.clear()
+                rob.clear()
+                self._loads_in_flight = 0
+                self._stores_in_flight = 0
                 break
             if cycle < self._stall_commit_until:
                 break
@@ -385,12 +456,13 @@ class O3Core:
                 state.write_memory(address, size, value)
         if entry.is_store:
             self.defense.commit_store(entry, cycle)
+        decoded = entry.decoded
         if entry.is_cond_branch and entry.actual_taken is not None:
             self.branch_predictor.update_direction(entry.pc, entry.actual_taken)
-            if entry.actual_taken and entry.instruction.target_pc is not None:
-                self.branch_predictor.update_target(entry.pc, entry.instruction.target_pc)
-        if entry.instruction.opcode is Opcode.JMP and entry.instruction.target_pc is not None:
-            self.branch_predictor.update_target(entry.pc, entry.instruction.target_pc)
+            if entry.actual_taken and decoded.target_pc is not None:
+                self.branch_predictor.update_target(entry.pc, decoded.target_pc)
+        if decoded.is_jmp and decoded.target_pc is not None:
+            self.branch_predictor.update_target(entry.pc, decoded.target_pc)
         if entry.is_load and entry.bypassed_stores:
             self.dependence_predictor.train_no_violation(entry.pc)
         self.defense.on_commit(entry, cycle)
@@ -398,8 +470,11 @@ class O3Core:
 
     def _execute(self, cycle: int) -> None:
         issued = 0
-        for entry in list(self._rob):
-            if issued >= self.config.issue_width:
+        issue_width = self.config.issue_width
+        # Direct iteration is safe for the same reason as _writeback:
+        # squashes replace self._rob rather than mutating it in place.
+        for entry in self._rob:
+            if issued >= issue_width:
                 break
             if entry.status != "waiting" or entry.squashed:
                 continue
@@ -409,11 +484,12 @@ class O3Core:
                 issued += 1
 
     def _operands_ready(self, entry: InFlightInstruction) -> bool:
+        entries = self._entries
         for producer_seq in entry.sources.values():
             if producer_seq is None:
                 continue
-            producer = self._entries[producer_seq]
-            if producer.status not in ("done", "committed"):
+            status = entries[producer_seq].status
+            if status != "done" and status != "committed":
                 return False
         # Only instructions that consume flag state must wait for the previous
         # flag producer: explicit readers (Jcc/CMOVcc/SETcc) and partial flag
@@ -421,18 +497,12 @@ class O3Core:
         # for a zero count).  Full flag writers overwrite all five flags and
         # need no ordering — waiting here would serialise the whole window on
         # the flags register and artificially shrink speculative windows.
-        needs_flags = entry.instruction.reads_flags or entry.instruction.opcode in (
-            Opcode.INC,
-            Opcode.DEC,
-            Opcode.SHL,
-            Opcode.SHR,
-        )
-        if needs_flags and entry.flags_source is not None:
-            producer = self._entries[entry.flags_source]
-            if producer.status not in ("done", "committed"):
+        if entry.decoded.needs_flags_order and entry.flags_source is not None:
+            status = entries[entry.flags_source].status
+            if status != "done" and status != "committed":
                 return False
         if entry.wait_for_store_commit is not None:
-            store = self._entries.get(entry.wait_for_store_commit)
+            store = entries.get(entry.wait_for_store_commit)
             if store is not None and not store.squashed and store.status != "committed":
                 return False
             entry.wait_for_store_commit = None
@@ -451,33 +521,36 @@ class O3Core:
         return self.arch_state.registers.read(name)
 
     def _flags_for(self, entry: InFlightInstruction) -> Dict[str, bool]:
-        if entry.flags_source is None:
-            return self.arch_state.flags.as_dict()
-        producer = self._entries[entry.flags_source]
-        if producer.flags_out is not None:
-            return dict(producer.flags_out)
+        # Flags dictionaries are never mutated in place (flags_out is always
+        # rebound to a fresh dict), so the producer's dict is shared rather
+        # than defensively copied.
+        if entry.flags_source is not None:
+            flags_out = self._entries[entry.flags_source].flags_out
+            if flags_out is not None:
+                return flags_out
         return self.arch_state.flags.as_dict()
 
     # -- execution of individual instruction kinds -------------------------------------
     def _start_execution(self, entry: InFlightInstruction, cycle: int) -> bool:
-        instruction = entry.instruction
-        opcode = instruction.opcode
+        decoded = entry.decoded
+        opcode = decoded.opcode
 
         if opcode in (Opcode.NOP, Opcode.LFENCE, Opcode.EXIT):
+            flags_in = self._flags_for(entry)
             entry.effect = evaluate(
-                instruction,
+                decoded.instruction,
                 lambda name: self._read_register(entry, name),
-                self._flags_for(entry),
+                flags_in,
                 self.arch_state.read_memory,
             )
-            entry.flags_out = self._flags_for(entry)
+            entry.flags_out = flags_in
             self._begin(entry, cycle, self.config.alu_latency)
             return True
 
-        if instruction.is_branch:
+        if decoded.is_branch:
             return self._execute_branch(entry, cycle)
 
-        if instruction.is_memory_access:
+        if entry.is_memory_access:
             return self._execute_memory(entry, cycle)
 
         return self._execute_alu(entry, cycle)
@@ -485,22 +558,22 @@ class O3Core:
     def _execute_alu(self, entry: InFlightInstruction, cycle: int) -> bool:
         flags_in = self._flags_for(entry)
         effect = evaluate(
-            entry.instruction,
+            entry.decoded.instruction,
             lambda name: self._read_register(entry, name),
             flags_in,
             self.arch_state.read_memory,
         )
         entry.effect = effect
-        entry.result_registers = dict(effect.register_writes)
+        entry.result_registers = effect.register_writes
         entry.flags_out = {**flags_in, **effect.flag_writes}
         self._begin(entry, cycle, self.config.alu_latency)
         return True
 
     def _execute_branch(self, entry: InFlightInstruction, cycle: int) -> bool:
-        instruction = entry.instruction
+        decoded = entry.decoded
         flags_in = self._flags_for(entry)
         effect = evaluate(
-            instruction,
+            decoded.instruction,
             lambda name: self._read_register(entry, name),
             flags_in,
             self.arch_state.read_memory,
@@ -508,7 +581,7 @@ class O3Core:
         entry.effect = effect
         entry.flags_out = flags_in
         entry.actual_taken = bool(effect.branch_taken)
-        if instruction.opcode is Opcode.JMP:
+        if decoded.is_jmp:
             # Direct jumps never mispredict in this model (targets are static).
             entry.resolved = True
             self._begin(entry, cycle, self.config.alu_latency)
@@ -517,31 +590,31 @@ class O3Core:
         return True
 
     def _execute_memory(self, entry: InFlightInstruction, cycle: int) -> bool:
-        instruction = entry.instruction
-        memory_operand = instruction.memory_operand
-        address = compute_effective_address(
-            memory_operand, lambda name: self._read_register(entry, name)
+        decoded = entry.decoded
+        address = decoded.effective_address(
+            lambda name: self._read_register(entry, name)
         )
         entry.mem_address = address
-        entry.mem_size = memory_operand.size
-        entry.line_addresses = self.memory.lines_of_access(address, memory_operand.size)
+        entry.mem_size = decoded.mem_size
+        entry.line_addresses = self.memory.lines_of_access(address, decoded.mem_size)
         entry.is_split = len(entry.line_addresses) > 1
         self._capture_speculation_status(entry)
 
-        if instruction.is_load:
+        if entry.is_load:
             return self._execute_load(entry, cycle)
         return self._execute_store(entry, cycle)
 
     def _capture_speculation_status(self, entry: InFlightInstruction) -> None:
         deps: Set[int] = set()
+        entry_seq = entry.seq
         for older in self._rob:
-            if older.seq >= entry.seq:
+            if older.seq >= entry_seq:
                 break
             if older.squashed:
                 continue
             if older.is_cond_branch and not older.resolved:
                 deps.add(older.seq)
-            elif older.is_store and older.mem_address is None and older.seq != entry.seq:
+            elif older.is_store and older.mem_address is None and older.seq != entry_seq:
                 deps.add(older.seq)
         entry.unsafe_deps = deps
         entry.speculative = bool(deps)
@@ -596,13 +669,13 @@ class O3Core:
 
         flags_in = self._flags_for(entry)
         effect = evaluate(
-            entry.instruction,
+            entry.decoded.instruction,
             lambda name: self._read_register(entry, name),
             flags_in,
             lambda _address, _size: entry.memory_value,
         )
         entry.effect = effect
-        entry.result_registers = dict(effect.register_writes)
+        entry.result_registers = effect.register_writes
         entry.flags_out = {**flags_in, **effect.flag_writes}
         self._begin(entry, cycle, max(1, latency))
 
@@ -624,13 +697,13 @@ class O3Core:
             return False
         flags_in = self._flags_for(entry)
         effect = evaluate(
-            entry.instruction,
+            entry.decoded.instruction,
             lambda name: self._read_register(entry, name),
             flags_in,
             self.arch_state.read_memory,
         )
         entry.effect = effect
-        entry.result_registers = dict(effect.register_writes)
+        entry.result_registers = effect.register_writes
         entry.flags_out = {**flags_in, **effect.flag_writes}
         self._begin(entry, cycle, max(1, latency))
         self.stats.stores_executed += 1
@@ -668,35 +741,52 @@ class O3Core:
     # squash
     # ======================================================================
     def _squash_from(self, first_seq: int, redirect_pc: int, cycle: int) -> None:
-        """Squash every entry with ``seq >= first_seq`` and redirect fetch."""
-        survivors: List[InFlightInstruction] = []
+        """Squash every entry with ``seq >= first_seq`` and redirect fetch.
+
+        The surviving window is rebuilt into a *new* deque so that pipeline
+        stages iterating the old one (writeback resolving a branch, execute
+        detecting a memory-order violation) are never invalidated mid-loop.
+        """
+        survivors: Deque[InFlightInstruction] = deque()
+        loads = 0
+        stores = 0
         for entry in self._rob:
             if entry.seq < first_seq:
                 survivors.append(entry)
+                if entry.is_load:
+                    loads += 1
+                if entry.is_store:
+                    stores += 1
                 continue
             entry.squashed = True
             entry.status = "squashed"
             self.defense.on_squash(entry, cycle)
             self.stats.instructions_squashed += 1
         self._rob = survivors
+        self._loads_in_flight = loads
+        self._stores_in_flight = stores
 
         # Rebuild the rename map from the surviving window.
         self._rename_map = {}
         self._flags_producer = None
-        for entry in self._rob:
-            destination = entry.instruction.destination_register()
+        exit_survives = False
+        for entry in survivors:
+            decoded = entry.decoded
+            destination = decoded.destination_register
             if destination is not None:
                 self._rename_map[destination] = entry.seq
-            if entry.instruction.writes_flags:
+            if decoded.writes_flags:
                 self._flags_producer = entry.seq
+            if decoded.is_exit:
+                exit_survives = True
 
         self._fetch_pc = redirect_pc
         self._fetch_stalled_until = max(
             self._fetch_stalled_until, cycle + self.config.branch_redirect_penalty
         )
         # If the EXIT instruction was squashed, the front end must resume.
-        self._exit_fetched = any(e.instruction.is_exit for e in self._rob)
-        if not self._exit_fetched:
+        self._exit_fetched = exit_survives
+        if not exit_survives:
             self._fetch_ahead_pc = None
 
     def stall_commit(self, until_cycle: int) -> None:
@@ -715,16 +805,18 @@ class O3Core:
             self._fetch_ahead(cycle)
             return
 
+        config = self.config
+        at_pc = self.decoded.at_pc
         fetched = 0
-        while fetched < self.config.fetch_width:
-            if len(self._rob) >= self.config.rob_size:
+        while fetched < config.fetch_width:
+            if len(self._rob) >= config.rob_size:
                 break
-            instruction = self.program.instruction_at(self._fetch_pc)
-            if instruction is None:
+            decoded = at_pc(self._fetch_pc)
+            if decoded is None:
                 break
-            if instruction.is_load and self._load_queue_full():
+            if decoded.is_load and self._loads_in_flight >= config.load_queue_size:
                 break
-            if instruction.is_store and self._store_queue_full():
+            if decoded.is_store and self._stores_in_flight >= config.store_queue_size:
                 break
 
             fetch_latency = self.memory.instruction_fetch(self._fetch_pc)
@@ -733,27 +825,27 @@ class O3Core:
 
             predicted_taken: Optional[bool] = None
             predicted_target: Optional[int] = None
-            if instruction.is_cond_branch:
-                predicted_taken = self.branch_predictor.predict_direction(instruction.pc)
+            if decoded.is_cond_branch:
+                predicted_taken = self.branch_predictor.predict_direction(decoded.pc)
                 predicted_target = (
-                    instruction.target_pc if predicted_taken else instruction.fallthrough_pc
+                    decoded.target_pc if predicted_taken else decoded.fallthrough_pc
                 )
-                self.branch_prediction_log.append((instruction.pc, predicted_target))
+                self.branch_prediction_log.append((decoded.pc, predicted_target))
 
-            entry = self._dispatch(instruction, predicted_taken, predicted_target)
+            self._dispatch(decoded, predicted_taken, predicted_target)
             self.stats.instructions_fetched += 1
             fetched += 1
 
-            if instruction.is_exit:
+            if decoded.is_exit:
                 self._exit_fetched = True
-                self._fetch_ahead_pc = instruction.pc + INSTRUCTION_SIZE
+                self._fetch_ahead_pc = decoded.pc + INSTRUCTION_SIZE
                 break
-            if instruction.opcode is Opcode.JMP:
-                self._fetch_pc = instruction.target_pc
-            elif instruction.is_cond_branch:
+            if decoded.is_jmp:
+                self._fetch_pc = decoded.target_pc
+            elif decoded.is_cond_branch:
                 self._fetch_pc = predicted_target
             else:
-                self._fetch_pc = instruction.pc + INSTRUCTION_SIZE
+                self._fetch_pc = decoded.pc + INSTRUCTION_SIZE
             if fetch_latency > 1:
                 break
 
@@ -772,17 +864,9 @@ class O3Core:
         self.memory.instruction_fetch(self._fetch_ahead_pc)
         self._fetch_ahead_pc += self.config.fetch_width * INSTRUCTION_SIZE
 
-    def _load_queue_full(self) -> bool:
-        loads = sum(1 for e in self._rob if e.is_load)
-        return loads >= self.config.load_queue_size
-
-    def _store_queue_full(self) -> bool:
-        stores = sum(1 for e in self._rob if e.is_store)
-        return stores >= self.config.store_queue_size
-
     def _dispatch(
         self,
-        instruction: Instruction,
+        decoded: DecodedInstruction,
         predicted_taken: Optional[bool],
         predicted_target: Optional[int],
     ) -> InFlightInstruction:
@@ -790,24 +874,23 @@ class O3Core:
         self._next_seq += 1
         entry = InFlightInstruction(
             seq=seq,
-            instruction=instruction,
-            pc=instruction.pc,
+            decoded=decoded,
             predicted_taken=predicted_taken,
             predicted_target=predicted_target,
         )
-        needed_registers = set(instruction.source_registers()) | set(
-            instruction.address_registers()
-        )
-        entry.sources = {
-            name: self._rename_map.get(name) for name in needed_registers
-        }
+        rename_get = self._rename_map.get
+        entry.sources = {name: rename_get(name) for name in decoded.needed_registers}
         entry.flags_source = self._flags_producer
 
-        destination = instruction.destination_register()
+        destination = decoded.destination_register
         if destination is not None:
             self._rename_map[destination] = seq
-        if instruction.writes_flags:
+        if decoded.writes_flags:
             self._flags_producer = seq
+        if decoded.is_load:
+            self._loads_in_flight += 1
+        if decoded.is_store:
+            self._stores_in_flight += 1
 
         self._rob.append(entry)
         self._entries[seq] = entry

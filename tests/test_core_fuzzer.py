@@ -209,6 +209,27 @@ class TestCampaign:
         seeds = {campaign.instance_config(index).seed for index in range(3)}
         assert len(seeds) == 3
 
+    def test_json_dict_surfaces_time_breakdown(self):
+        config = FuzzerConfig(
+            defense="baseline", programs_per_instance=2, inputs_per_program=7, seed=11
+        )
+        payload = Campaign(config, instances=1).run().to_json_dict()
+        breakdown = payload["time_breakdown"]
+        assert set(breakdown) == {
+            "modeled_seconds",
+            "modeled_percent",
+            "wall_clock_seconds",
+            "wall_clock_percent",
+        }
+        # The Opt executor's modeled split must cover the Table-2 components
+        # that dominate a campaign: startup, simulation and trace extraction.
+        modeled = breakdown["modeled_seconds"]
+        assert {"gem5 startup", "gem5 simulate", "uTrace extraction"} <= set(modeled)
+        assert all(seconds >= 0 for seconds in modeled.values())
+        shares = breakdown["modeled_percent"]
+        assert abs(sum(shares.values()) - 100.0) < 1.0
+        assert sum(breakdown["wall_clock_seconds"].values()) > 0
+
     def test_zero_instances_rejected(self):
         with pytest.raises(ValueError):
             Campaign(FuzzerConfig(), instances=0)

@@ -1,0 +1,260 @@
+"""Determinism equivalence of the decode-once hot path.
+
+``tests/data/golden_traces.json`` was recorded with the pre-``DecodedProgram``
+interpreters (straight ``Instruction`` property queries on every dynamic
+step).  These tests replay the identical seeded workload through the current
+code and require byte-identical results — contract traces, taint sets,
+micro-architectural traces, cycle counts and final register files — for
+every contract, every defense, and both execution modes.
+
+Also covers the :class:`DecodedProgram` layer directly and the journal-based
+taint snapshot/restore that replaced the per-branch deep copies.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+
+import pytest
+
+from golden_utils import GOLDEN_PATH, collect_golden
+from repro.generator.config import GeneratorConfig
+from repro.generator.program_generator import ProgramGenerator
+from repro.generator.sandbox import Sandbox
+from repro.isa.decoded import DecodedProgram, decode_program
+from repro.isa.instructions import CONDITION_CODES
+from repro.isa.program import INSTRUCTION_SIZE
+from repro.isa.semantics import condition_holds, condition_predicate
+from repro.model.contracts import Contract
+from repro.model.emulator import Emulator
+from repro.model.taint import TaintState
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def fresh() -> dict:
+    return collect_golden()
+
+
+class TestGoldenEquivalence:
+    def test_same_workload(self, golden, fresh):
+        """The seeded generator still produces the recorded programs."""
+        assert golden["seed"] == fresh["seed"]
+        assert golden["programs"] == fresh["programs"]
+
+    def test_contract_runs_are_byte_identical(self, golden, fresh):
+        assert len(golden["contract_runs"]) == len(fresh["contract_runs"])
+        for recorded, replayed in zip(golden["contract_runs"], fresh["contract_runs"]):
+            context = (
+                f"program {recorded['program']} contract {recorded['contract']} "
+                f"input {recorded['input']}"
+            )
+            assert recorded == replayed, f"contract divergence at {context}"
+
+    def test_contract_runs_cover_speculating_contracts(self, golden):
+        contracts = {run["contract"] for run in golden["contract_runs"]}
+        assert {"CT-SEQ", "CT-COND", "ARCH-SEQ", "ARCH-COND"} <= contracts
+        # The speculative execution clause must actually have fired.
+        assert any(
+            run["speculative_instruction_count"] > 0
+            for run in golden["contract_runs"]
+            if run["contract"] in ("CT-COND", "ARCH-COND")
+        )
+
+    def test_uarch_runs_are_byte_identical(self, golden, fresh):
+        assert len(golden["uarch_runs"]) == len(fresh["uarch_runs"])
+        for recorded, replayed in zip(golden["uarch_runs"], fresh["uarch_runs"]):
+            context = (
+                f"program {recorded['program']} defense {recorded['defense']} "
+                f"mode {recorded['mode']} input {recorded['input']}"
+            )
+            assert recorded == replayed, f"uarch divergence at {context}"
+
+    def test_uarch_runs_cover_all_defenses_and_modes(self, golden):
+        combinations = {(run["defense"], run["mode"]) for run in golden["uarch_runs"]}
+        defenses = ("baseline", "invisispec", "stt", "cleanupspec", "speclfb")
+        assert combinations == set(itertools.product(defenses, ("naive", "opt")))
+
+
+class TestDecodedProgram:
+    @pytest.fixture(scope="class")
+    def program(self):
+        generator = ProgramGenerator(GeneratorConfig(sandbox=Sandbox()), seed=99)
+        return generator.generate()
+
+    def test_decode_program_is_cached_per_program(self, program):
+        assert decode_program(program) is decode_program(program)
+        other = ProgramGenerator(GeneratorConfig(sandbox=Sandbox()), seed=100).generate()
+        assert decode_program(other) is not decode_program(program)
+
+    def test_dense_table_matches_instruction_at(self, program):
+        decoded = DecodedProgram(program)
+        for pc in range(program.code_base - 8, program.end_pc + 8):
+            entry = decoded.at_pc(pc)
+            instruction = program.instruction_at(pc)
+            if instruction is None:
+                assert entry is None
+            else:
+                assert entry is not None and entry.instruction is instruction
+
+    def test_metadata_matches_instruction_properties(self, program):
+        for entry in DecodedProgram(program).entries:
+            instruction = entry.instruction
+            assert entry.pc == instruction.pc
+            assert entry.is_load == instruction.is_load
+            assert entry.is_store == instruction.is_store
+            assert entry.is_memory_access == instruction.is_memory_access
+            assert entry.is_cond_branch == instruction.is_cond_branch
+            assert entry.is_exit == instruction.is_exit
+            assert entry.writes_flags == instruction.writes_flags
+            assert entry.reads_flags == instruction.reads_flags
+            assert entry.source_registers == instruction.source_registers()
+            assert entry.destination_register == instruction.destination_register()
+            assert entry.address_registers == instruction.address_registers()
+            assert set(entry.needed_registers) == set(
+                instruction.source_registers()
+            ) | set(instruction.address_registers())
+            mem = instruction.memory_operand
+            if mem is None:
+                assert entry.memory_operand is None and entry.mem_base is None
+            else:
+                assert entry.mem_base == mem.base
+                assert entry.mem_index == mem.index
+                assert entry.mem_displacement == mem.displacement
+                assert entry.mem_size == mem.size
+
+    def test_cache_does_not_pin_dead_programs(self):
+        """The decode cache must not leak: a campaign decodes thousands of
+        short-lived programs, and a value referencing its weak key would
+        pin every one of them for the process lifetime."""
+        import gc
+        import weakref
+
+        from repro.isa.decoded import _DECODED_CACHE
+
+        generator = ProgramGenerator(GeneratorConfig(sandbox=Sandbox()), seed=123)
+        refs = []
+        for _ in range(10):
+            program = generator.generate()
+            decode_program(program)
+            refs.append(weakref.ref(program))
+        del program
+        gc.collect()
+        assert all(ref() is None for ref in refs)
+        assert not any(ref() in _DECODED_CACHE for ref in refs)
+
+    def test_misaligned_pc_is_rejected(self, program):
+        decoded = DecodedProgram(program)
+        assert decoded.at_pc(program.code_base + 1) is None
+        assert decoded.at_pc(program.code_base - INSTRUCTION_SIZE) is None
+        assert decoded.at_pc(program.end_pc) is None
+
+
+class TestConditionPredicates:
+    def test_predicates_agree_with_condition_holds(self):
+        flag_names = ("zf", "sf", "cf", "of", "pf")
+        for condition in CONDITION_CODES:
+            predicate = condition_predicate(condition)
+            for bits in range(32):
+                flags = {
+                    name: bool((bits >> position) & 1)
+                    for position, name in enumerate(flag_names)
+                }
+                expected = condition_holds(condition, flags)
+                assert (
+                    bool(
+                        predicate(
+                            flags["zf"], flags["sf"], flags["cf"], flags["of"], flags["pf"]
+                        )
+                    )
+                    == expected
+                ), f"{condition} with {flags}"
+
+    def test_unknown_condition_raises(self):
+        with pytest.raises(ValueError):
+            condition_predicate("zz")
+        with pytest.raises(ValueError):
+            condition_holds("zz", {})
+
+
+class TestTaintJournal:
+    """The journal-based snapshot/restore that replaced per-branch deep copies."""
+
+    def _state(self) -> TaintState:
+        return TaintState(Sandbox())
+
+    def test_nested_speculation_restores_exactly(self):
+        taint = self._state()
+        base = taint.sandbox.base
+        taint.set_register("r8", frozenset({("reg", "rax")}))
+        taint.set_memory(base + 16, 8, frozenset({("reg", "rbx")}))
+        before_registers = dict(taint.register_taints)
+        before_memory = dict(taint._memory_taints)
+        before_flags = taint.flag_taint
+
+        outer = taint.snapshot()
+        taint.set_register("r8", frozenset({("reg", "rcx")}))
+        taint.set_flags(frozenset({("reg", "rdx")}))
+        taint.set_memory(base + 16, 8, frozenset({("reg", "rsi")}))
+        taint.set_memory(base + 64, 8, frozenset({("reg", "rdi")}))  # fresh granule
+
+        inner = taint.snapshot()
+        taint.set_register("r9", frozenset({("mem", 0)}))
+        taint.set_memory(base + 64, 4, frozenset({("mem", 8)}))
+        taint.restore(inner)
+
+        # Inner effects are gone, outer effects still visible.
+        assert taint.register_taints["r9"] == frozenset()
+        assert taint.register_taints["r8"] == frozenset({("reg", "rcx")})
+        assert taint._memory_taints[64] == frozenset({("reg", "rdi")})
+
+        taint.restore(outer)
+        assert taint.register_taints == before_registers
+        assert taint._memory_taints == before_memory
+        assert taint.flag_taint == before_flags
+        # The granule that only ever existed speculatively is gone again.
+        assert 64 not in taint._memory_taints
+
+    def test_architectural_writes_are_not_journalled(self):
+        taint = self._state()
+        taint.set_register("r10", frozenset({("reg", "rax")}))
+        assert taint._journal == []
+
+    def test_relevant_survives_restore(self):
+        taint = self._state()
+        mark = taint.snapshot()
+        taint.mark_relevant(frozenset({("reg", "rax")}))
+        taint.restore(mark)
+        assert ("reg", "rax") in taint.relevant_labels()
+
+    def test_emulator_speculation_leaves_no_residue(self):
+        """Back-to-back CT-COND runs and a CT-SEQ run agree architecturally.
+
+        Nested speculative exploration (max_nesting=2) mutates and rolls
+        back taint and architectural state; any leak across the rollback
+        would change the second run or the non-speculating run.
+        """
+        from repro.generator.inputs import InputGenerator
+
+        sandbox = Sandbox()
+        program = ProgramGenerator(GeneratorConfig(sandbox=sandbox), seed=7).generate()
+        test_input = InputGenerator(sandbox, seed=7).generate_one()
+        emulator = Emulator(program, sandbox)
+        nested = Contract(name="CT-COND-NESTED", speculate_branches=True, max_nesting=2)
+        plain = Contract(name="CT-SEQ-REF")
+
+        first = emulator.run(test_input, nested)
+        second = emulator.run(test_input, nested)
+        reference = emulator.run(test_input, plain)
+
+        assert first.trace == second.trace
+        assert first.relevant_labels == second.relevant_labels
+        assert first.final_registers == second.final_registers
+        assert first.final_registers == reference.final_registers
+        assert first.executed_pcs == reference.executed_pcs
