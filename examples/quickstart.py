@@ -14,8 +14,6 @@ from __future__ import annotations
 
 from repro import AmuletFuzzer, FuzzerConfig, analyze_violation, unique_violations
 from repro.core.analysis import render_side_by_side
-from repro.executor.executor import SimulatorExecutor
-from repro.executor.traces import MEMORY_ACCESS_ORDER_TRACE
 
 
 def main() -> None:
@@ -55,10 +53,10 @@ def main() -> None:
 
     # Root-cause aid: re-run the two inputs recording the full memory access
     # order and show where the executions diverge (the leaking instruction).
-    executor = SimulatorExecutor(
-        "baseline", sandbox=fuzzer.sandbox, trace_config=MEMORY_ACCESS_ORDER_TRACE
-    )
-    analysis = analyze_violation(violation, executor=executor)
+    # The executor is rebuilt from the violation's recorded provenance, so
+    # the re-run uses the exact defense/uarch configuration it was found
+    # under (only the trace format is swapped for the access-order one).
+    analysis = analyze_violation(violation)
     print()
     print("root-cause analysis:", analysis.summary())
     print(render_side_by_side(analysis, limit=20))

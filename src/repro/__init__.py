@@ -10,6 +10,7 @@ The public API mirrors the structure of the paper:
 * :mod:`repro.executor` -- micro-architectural trace extraction (Naive/Opt);
 * :mod:`repro.core` -- the AMuLeT fuzzer, campaigns, analysis and filtering;
 * :mod:`repro.backends` -- pluggable campaign execution (inline / process pool);
+* :mod:`repro.triage` -- re-validate, minimize, root-cause and dedup violations;
 * :mod:`repro.litmus` -- directed programs reproducing each reported leak;
 * :mod:`repro.reporting` -- paper-style tables and the experiment registry.
 
@@ -51,6 +52,7 @@ from repro.executor import (
 )
 from repro.generator import GeneratorConfig, Input, InputGenerator, ProgramGenerator, Sandbox
 from repro.model import ARCH_SEQ, CT_COND, CT_SEQ, Contract, Emulator, get_contract
+from repro.triage import TriageConfig, TriagePipeline, TriageReport
 from repro.uarch import O3Core, UarchConfig
 
 __version__ = "1.0.0"
@@ -88,6 +90,9 @@ __all__ = [
     "Contract",
     "Emulator",
     "get_contract",
+    "TriageConfig",
+    "TriagePipeline",
+    "TriageReport",
     "O3Core",
     "UarchConfig",
     "__version__",

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.core.config import FuzzerConfig, resolve_contract_name
 from repro.core.fuzzer import FuzzerReport, RoundResult
@@ -62,6 +62,19 @@ class ExecutionBackend(ABC):
         self, plan: CampaignPlan, on_round: Optional[RoundCallback] = None
     ) -> List[FuzzerReport]:
         """Execute ``plan``; stream rounds to ``on_round``; return per-instance reports."""
+
+    def map_items(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> List[Any]:
+        """Apply ``fn`` to independent work items, results in item order.
+
+        Campaign-adjacent fan-out (violation triage) reuses the backend
+        abstraction: items are self-contained and order-independent, so the
+        result list is identical whatever the scheduling.  The base
+        implementation runs sequentially on the calling thread; pooled
+        backends override it (``fn`` and every item must then be picklable).
+        """
+        return [fn(item) for item in items]
 
     @staticmethod
     def empty_report(config: FuzzerConfig) -> FuzzerReport:

@@ -23,7 +23,7 @@ import os
 import queue as queue_module
 import traceback
 from itertools import islice
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.backends.base import CampaignPlan, ExecutionBackend, RoundCallback
 from repro.core.config import FuzzerConfig
@@ -87,6 +87,22 @@ class ProcessPoolBackend(ExecutionBackend):
         """Actual number of worker processes used for ``instances`` instances."""
         requested = self.workers if self.workers is not None else (os.cpu_count() or 2)
         return max(1, min(requested, instances))
+
+    def map_items(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> List[Any]:
+        """Fan independent work items across a process pool, results in order.
+
+        Work items are scheduled one at a time (``chunksize=1``) so long items
+        (e.g. a violation with a slow minimization) don't serialise behind
+        each other.  ``fn`` and the items must be picklable.
+        """
+        items = list(items)
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        context = multiprocessing.get_context()
+        with context.Pool(processes=self.worker_count(len(items))) as pool:
+            return pool.map(fn, items, chunksize=1)
 
     def run(
         self, plan: CampaignPlan, on_round: Optional[RoundCallback] = None

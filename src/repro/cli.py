@@ -6,6 +6,8 @@ Examples::
     amulet-repro --defense invisispec --instances 4 --workers 4 --stop-on-violation
     amulet-repro --defense invisispec --patched --l1d-ways 2 --mshrs 2
     amulet-repro --instances 4 --workers 4 --json
+    amulet-repro --defense baseline --stop-on-violation --triage --json
+    amulet-repro --defense invisispec --patched --triage --amplify --triage-workers 4
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ from repro.core.filtering import unique_violations
 from repro.defenses.registry import available_defenses
 from repro.executor.executor import ExecutionMode
 from repro.executor.traces import get_trace_config
+from repro.triage import TriageConfig, TriagePipeline
 from repro.uarch.config import UarchConfig
 
 
@@ -65,6 +68,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="rounds a worker runs for one instance before rotating to its next",
     )
     parser.add_argument(
+        "--triage",
+        action="store_true",
+        help="triage confirmed violations: re-validate, minimize, root-cause, dedup",
+    )
+    parser.add_argument(
+        "--amplify",
+        action="store_true",
+        help="during triage, escalate non-reproducing violations through the "
+        "Table-6 amplification ladder (implies --triage)",
+    )
+    parser.add_argument(
+        "--triage-workers",
+        type=int,
+        default=None,
+        help="fan triage work items across this many worker processes "
+        "(default: inline on the calling thread)",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="print a machine-readable JSON campaign summary instead of the table",
@@ -97,6 +118,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--chunk-size must be at least 1")
     if args.instances < 1:
         parser.error("--instances must be at least 1")
+    if args.triage_workers is not None and args.triage_workers < 1:
+        parser.error("--triage-workers must be at least 1")
+    triage_requested = args.triage or args.amplify or args.triage_workers is not None
     uarch_config = UarchConfig().with_amplification(
         l1d_ways=args.l1d_ways, mshrs=args.mshrs
     )
@@ -117,6 +141,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     campaign = Campaign(config, instances=args.instances)
     result = campaign.run()
+
+    if triage_requested and result.violations:
+        pipeline = TriagePipeline(
+            config=TriageConfig(amplify=args.amplify),
+            workers=args.triage_workers,
+        )
+        pipeline.run(result)  # attaches result.triage
 
     if args.json:
         print(json.dumps(result.to_json_dict(), indent=2))
@@ -139,6 +170,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"  x{len(members):<3} {members[0].summary()}")
     else:
         print("no violations detected")
+    if result.triage is not None:
+        print()
+        for line in result.triage.summary_lines():
+            print(line)
     return 0 if not result.detected else 1
 
 

@@ -21,7 +21,12 @@ from repro.core.campaign import Campaign, CampaignResult
 from repro.core.analysis import ViolationAnalysis, analyze_violation
 from repro.core.filtering import ViolationFilter, unique_violations
 from repro.core.amplification import AmplificationLevel, amplification_ladder
-from repro.core.minimize import minimize_program
+from repro.core.minimize import (
+    MinimizationBudget,
+    MinimizationResult,
+    minimize_program,
+    minimize_violation,
+)
 
 __all__ = [
     "FuzzerConfig",
@@ -43,5 +48,8 @@ __all__ = [
     "unique_violations",
     "AmplificationLevel",
     "amplification_ladder",
+    "MinimizationBudget",
+    "MinimizationResult",
     "minimize_program",
+    "minimize_violation",
 ]

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.violation import Violation
-from repro.executor.executor import ExecutionMode, SimulatorExecutor
+from repro.executor.executor import SimulatorExecutor
 from repro.executor.traces import MEMORY_ACCESS_ORDER_TRACE
 from repro.generator.sandbox import Sandbox
 
@@ -64,15 +64,17 @@ def analyze_violation(
     """Re-run the violating pair and locate the first diverging memory access.
 
     ``executor`` may be supplied to reuse an existing executor configuration
-    (defense, micro-architecture); otherwise a fresh one is built from the
-    violation's metadata with the access-order trace enabled.
+    (defense, micro-architecture); otherwise one is rebuilt from the
+    violation's recorded provenance — defense *with* its ``patched`` flag,
+    the (possibly amplified) :class:`~repro.uarch.config.UarchConfig`, the
+    sandbox size and the priming strategy — with the access-order trace
+    swapped in.  Rebuilding from the bare defense name is not fidelity-safe:
+    it silently reverts patches and amplification, and the re-run can then
+    fail to reproduce the violation.
     """
     if executor is None:
-        executor = SimulatorExecutor(
-            defense_factory=violation.defense,
-            sandbox=sandbox or Sandbox(),
-            trace_config=MEMORY_ACCESS_ORDER_TRACE,
-            mode=ExecutionMode.OPT,
+        executor = violation.build_executor(
+            trace_config=MEMORY_ACCESS_ORDER_TRACE, sandbox=sandbox
         )
     accesses_a, accesses_b = _collect_access_order(violation, executor)
 

@@ -19,8 +19,9 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Union
 
 from repro.core.config import FuzzerConfig, resolve_contract_name
 
-if TYPE_CHECKING:  # imported lazily at runtime: backends depend on core
+if TYPE_CHECKING:  # imported lazily at runtime: backends/triage depend on core
     from repro.backends import CampaignPlan, ExecutionBackend
+    from repro.triage.report import TriageReport
 from repro.core.filtering import unique_violations
 from repro.core.fuzzer import FuzzerReport, RoundResult
 from repro.core.seeding import derive_instance_seed
@@ -52,6 +53,9 @@ class CampaignResult:
     streamed_test_cases: int = 0
     #: Violations observed through streaming.
     streamed_violations: int = 0
+    #: Attached by :class:`~repro.triage.TriagePipeline` when the campaign's
+    #: violations have been re-validated, minimized and clustered.
+    triage: Optional["TriageReport"] = None
 
     # -- incremental aggregation ------------------------------------------------
     def record_round(self, instance_index: int, result: RoundResult) -> None:
@@ -168,7 +172,7 @@ class CampaignResult:
     def to_json_dict(self) -> Dict[str, object]:
         """Machine-readable campaign summary (the CLI's ``--json`` payload)."""
         groups = unique_violations(self.violations)
-        return {
+        payload = {
             "defense": self.defense,
             "contract": self.contract,
             "backend": self.backend,
@@ -203,6 +207,9 @@ class CampaignResult:
                 for report in self.reports
             ],
         }
+        if self.triage is not None:
+            payload["triage"] = self.triage.to_json_dict()
+        return payload
 
 
 #: Progress callback: ``on_round(instance_index, round_result)``.

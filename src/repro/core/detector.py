@@ -59,7 +59,10 @@ class ViolationDetector:
                 trace_a=witness_a.uarch_trace,
                 trace_b=witness_b.uarch_trace,
                 contract_trace=contract_trace,
-                violating_input_count=sum(len(group) for group in groups[1:]) + len(groups[0]),
+                # Only entries outside the largest (majority, agreeing) trace
+                # group disagree; counting the majority too would report every
+                # executed input of the class as "violating".
+                violating_input_count=sum(len(group) for group in groups[1:]),
                 differing_components=witness_a.uarch_trace.differing_components(
                     witness_b.uarch_trace
                 ),

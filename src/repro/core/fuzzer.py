@@ -134,6 +134,7 @@ class AmuletFuzzer:
         violations = self.detector.detect(test_case)
         confirmed: List[Violation] = []
         for violation in violations:
+            violation.record_provenance(self.executor, patched=config.patched)
             if config.validate_violations and not self._validate(violation):
                 violation.validated = False
                 continue
@@ -253,7 +254,11 @@ class AmuletFuzzer:
                 violation.trace_a = trace_a
                 violation.trace_b = trace_b
                 violation.differing_components = trace_a.differing_components(trace_b)
+                # Both witnesses were re-run from the same context; leaving
+                # ``uarch_context_b`` at its original value would hand
+                # downstream minimization/analysis a mismatched context pair.
                 violation.uarch_context = context
+                violation.uarch_context_b = context
                 return True
         return False
 

@@ -1,22 +1,101 @@
-"""Test-case minimization: shrink a violating program for root-cause analysis.
+"""Test-case minimization: shrink a violating witness for root-cause analysis.
 
 The paper's root-cause workflow is manual; in practice (and in Revizor) the
-first step is always to shrink the witness program.  ``minimize_program``
-repeatedly removes instructions from the program and keeps the removal if
-the violation (same input pair, same contract) still reproduces, yielding a
-minimal gadget like the snippets shown in Figures 4, 6, 8 and 9.
+first step is always to shrink the witness.  :func:`minimize_violation` runs
+two budgeted passes:
+
+* a **program pass** that repeatedly removes instructions and keeps the
+  removal if the violation (same input pair, same contract) still reproduces,
+  yielding a minimal gadget like the snippets in Figures 4, 6, 8 and 9; and
+* an **input-pair pass** that copies input A's value into input B one
+  differing location (register / 8-byte sandbox granule) at a time, keeping
+  the copy whenever the shrunk pair still witnesses the leak — the locations
+  that cannot be equalised are the ones actually carrying the secret.
+
+Both passes charge a shared :class:`MinimizationBudget` (candidate count and
+optional wall-clock timeout), so triaging a large campaign stays bounded.
 """
 
 from __future__ import annotations
 
 import copy
-from typing import Callable, List, Optional
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
 
 from repro.core.violation import Violation
 from repro.executor.executor import SimulatorExecutor
+from repro.generator.inputs import MEMORY_GRANULE, Input
 from repro.isa.program import BasicBlock, Program
 from repro.model.contracts import get_contract
 from repro.model.emulator import Emulator
+
+
+@dataclass(frozen=True)
+class MinimizationBudget:
+    """Bounds on the greedy search.
+
+    ``max_candidates`` is the deterministic knob (the same candidate sequence
+    is explored regardless of machine speed); ``max_seconds`` is a hard
+    wall-clock stop for interactive use.  Leave ``max_seconds`` at ``None``
+    when minimized output must be reproducible across backends/machines.
+    """
+
+    max_passes: int = 3
+    max_candidates: Optional[int] = 512
+    max_seconds: Optional[float] = None
+
+
+@dataclass
+class MinimizationResult:
+    """Outcome of :func:`minimize_violation`."""
+
+    program: Program
+    input_a: Input
+    input_b: Input
+    original_instruction_count: int
+    removed_instructions: int
+    #: Differing input locations (registers / memory granules) equalised by
+    #: the input-pair pass.
+    shrunk_locations: int
+    #: Differing input locations remaining after the pass.
+    remaining_locations: int
+    candidates_tried: int
+    seconds: float
+    budget_exhausted: bool
+
+
+class _BudgetTracker:
+    """Shared candidate/time accounting across the minimization passes."""
+
+    def __init__(self, budget: MinimizationBudget) -> None:
+        self.budget = budget
+        self.started = time.perf_counter()
+        self.candidates_tried = 0
+        self.exhausted = False
+
+    def charge(self) -> bool:
+        """Account for one candidate check; False once the budget is spent."""
+        if self.exhausted:
+            return False
+        if (
+            self.budget.max_candidates is not None
+            and self.candidates_tried >= self.budget.max_candidates
+        ):
+            self.exhausted = True
+            return False
+        if (
+            self.budget.max_seconds is not None
+            and time.perf_counter() - self.started >= self.budget.max_seconds
+        ):
+            self.exhausted = True
+            return False
+        self.candidates_tried += 1
+        return True
+
+    @property
+    def seconds(self) -> float:
+        return time.perf_counter() - self.started
 
 
 def _rebuild_without(program: Program, skip_uid: int) -> Optional[Program]:
@@ -40,34 +119,107 @@ def _rebuild_without(program: Program, skip_uid: int) -> Optional[Program]:
         return None
 
 
+def _reproduces(
+    program: Program,
+    violation: Violation,
+    executor: SimulatorExecutor,
+    input_a: Input,
+    input_b: Input,
+) -> bool:
+    """Definition 2.1 check on one candidate, reusing a live executor."""
+    emulator = Emulator(program, executor.sandbox)
+    contract = get_contract(violation.contract)
+    trace_a = emulator.contract_trace(input_a, contract)
+    trace_b = emulator.contract_trace(input_b, contract)
+    if trace_a != trace_b:
+        return False
+    executor.load_program(program)
+    context = violation.uarch_context
+    record_a = executor.run_input(input_a, uarch_context=context)
+    record_b = executor.run_input(input_b, uarch_context=context)
+    return record_a.trace != record_b.trace
+
+
 def violation_reproduces(
     program: Program,
     violation: Violation,
     executor_factory: Callable[[], SimulatorExecutor],
+    input_a: Optional[Input] = None,
+    input_b: Optional[Input] = None,
 ) -> bool:
-    """Check Definition 2.1 for the violation's input pair on ``program``."""
-    emulator = Emulator(program, executor_factory().sandbox)
-    contract = get_contract(violation.contract)
-    trace_a = emulator.contract_trace(violation.input_a, contract)
-    trace_b = emulator.contract_trace(violation.input_b, contract)
-    if trace_a != trace_b:
-        return False
+    """Check Definition 2.1 for an input pair on ``program``.
+
+    The pair defaults to the violation's witnesses.  One executor serves both
+    the contract-trace check (which only borrows its sandbox) and the
+    micro-architectural re-run — constructing a throwaway executor just for
+    the sandbox would double the per-candidate setup cost.
+    """
     executor = executor_factory()
-    executor.load_program(program)
-    context = violation.uarch_context
-    record_a = executor.run_input(violation.input_a, uarch_context=context)
-    record_b = executor.run_input(violation.input_b, uarch_context=context)
-    return record_a.trace != record_b.trace
+    return _reproduces(
+        program,
+        violation,
+        executor,
+        input_a if input_a is not None else violation.input_a,
+        input_b if input_b is not None else violation.input_b,
+    )
 
 
-def minimize_program(
+def _differing_locations(input_a: Input, input_b: Input) -> List[Tuple[str, object]]:
+    """Input locations (registers / granules) where the two witnesses differ."""
+    locations: List[Tuple[str, object]] = []
+    registers_a = input_a.register_dict()
+    for name, value_b in input_b.registers:
+        if registers_a.get(name) != value_b:
+            locations.append(("reg", name))
+    limit = min(len(input_a.memory), len(input_b.memory))
+    for offset in range(0, limit, MEMORY_GRANULE):
+        if (
+            input_a.memory[offset : offset + MEMORY_GRANULE]
+            != input_b.memory[offset : offset + MEMORY_GRANULE]
+        ):
+            locations.append(("mem", offset))
+    return locations
+
+
+def _copy_location(input_a: Input, input_b: Input, location: Tuple[str, object]) -> Input:
+    """Input B with input A's value at ``location``."""
+    kind, key = location
+    if kind == "reg":
+        registers = input_b.register_dict()
+        registers[key] = input_a.register_dict()[key]
+        return Input.create(registers, input_b.memory, seed=input_b.seed)
+    offset = key
+    memory = bytearray(input_b.memory)
+    memory[offset : offset + MEMORY_GRANULE] = input_a.memory[
+        offset : offset + MEMORY_GRANULE
+    ]
+    return Input(registers=input_b.registers, memory=bytes(memory), seed=input_b.seed)
+
+
+def minimize_violation(
     violation: Violation,
-    executor_factory: Callable[[], SimulatorExecutor],
-    max_passes: int = 3,
-) -> Program:
-    """Greedily remove instructions while the violation keeps reproducing."""
+    executor_factory: Optional[Callable[[], SimulatorExecutor]] = None,
+    budget: Optional[MinimizationBudget] = None,
+    shrink_inputs: bool = True,
+) -> MinimizationResult:
+    """Shrink the witness program, then the witness input pair.
+
+    ``executor_factory`` defaults to rebuilding from the violation's recorded
+    provenance (defense + ``patched`` flag + uarch config + sandbox +
+    priming), so the candidate re-runs happen under exactly the
+    configuration the violation was found under.
+    """
+    if executor_factory is None:
+        executor_factory = violation.build_executor
+    budget = budget or MinimizationBudget()
+    tracker = _BudgetTracker(budget)
+    executor = executor_factory()
+
+    # -- program pass: greedy instruction removal -----------------------------
     current = violation.program
-    for _ in range(max_passes):
+    original_count = len(current)
+    input_a, input_b = violation.input_a, violation.input_b
+    for _ in range(budget.max_passes):
         removed_any = False
         for instruction in list(current.linear_instructions()):
             if instruction.is_branch or instruction.is_exit:
@@ -75,9 +227,53 @@ def minimize_program(
             candidate = _rebuild_without(current, instruction.uid)
             if candidate is None:
                 continue
-            if violation_reproduces(candidate, violation, executor_factory):
+            if not tracker.charge():
+                break
+            if _reproduces(candidate, violation, executor, input_a, input_b):
                 current = candidate
                 removed_any = True
-        if not removed_any:
+        if not removed_any or tracker.exhausted:
             break
-    return current
+
+    # -- input-pair pass: equalise differing locations one at a time ----------
+    shrunk = 0
+    if shrink_inputs:
+        for location in _differing_locations(input_a, input_b):
+            if not tracker.charge():
+                break
+            candidate_b = _copy_location(input_a, input_b, location)
+            if _reproduces(current, violation, executor, input_a, candidate_b):
+                input_b = candidate_b
+                shrunk += 1
+
+    return MinimizationResult(
+        program=current,
+        input_a=input_a,
+        input_b=input_b,
+        original_instruction_count=original_count,
+        removed_instructions=original_count - len(current),
+        shrunk_locations=shrunk,
+        remaining_locations=len(_differing_locations(input_a, input_b)),
+        candidates_tried=tracker.candidates_tried,
+        seconds=tracker.seconds,
+        budget_exhausted=tracker.exhausted,
+    )
+
+
+def minimize_program(
+    violation: Violation,
+    executor_factory: Callable[[], SimulatorExecutor],
+    max_passes: int = 3,
+) -> Program:
+    """Greedily remove instructions while the violation keeps reproducing.
+
+    Back-compat wrapper around :func:`minimize_violation` that runs only the
+    program pass (no input shrinking, no candidate cap).
+    """
+    result = minimize_violation(
+        violation,
+        executor_factory,
+        budget=MinimizationBudget(max_passes=max_passes, max_candidates=None),
+        shrink_inputs=False,
+    )
+    return result.program

@@ -10,12 +10,17 @@ violations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.executor.traces import UarchTrace
 from repro.generator.inputs import Input
 from repro.isa.program import Program
 from repro.model.emulator import ContractTrace
+from repro.uarch.config import UarchConfig
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep this module light
+    from repro.executor.executor import SimulatorExecutor
+    from repro.executor.traces import TraceConfig
 
 
 @dataclass
@@ -30,7 +35,8 @@ class Violation:
     trace_a: UarchTrace
     trace_b: UarchTrace
     contract_trace: ContractTrace
-    #: All inputs of the contract-equivalence class that disagreed.
+    #: Executed inputs whose trace disagrees with the majority (largest)
+    #: trace group of the contract-equivalence class.
     violating_input_count: int = 2
     #: Names of the trace components that differ (l1d, dtlb, l1i, ...).
     differing_components: Tuple[str, ...] = ()
@@ -55,6 +61,73 @@ class Violation:
     signature: Optional[Tuple] = None
     #: Optional analysis annotations (root-cause hints, leaking PCs, ...).
     notes: Dict[str, object] = field(default_factory=dict)
+
+    # -- executor provenance --------------------------------------------------
+    # The exact configuration the violation was found under.  Re-runs
+    # (validation, minimization, first-divergence analysis, amplification
+    # escalation) must rebuild the executor from these fields: the bare
+    # ``defense`` name is not enough — it drops the ``patched`` flag and any
+    # amplified :class:`UarchConfig`, so the re-run can fail to reproduce.
+    #: Was the defense running with the paper's bug patches applied?
+    patched: bool = False
+    #: The (possibly amplified) core configuration of the detecting executor.
+    uarch_config: Optional[UarchConfig] = None
+    #: Sandbox size (4 KiB pages) the program was generated for.
+    sandbox_pages: Optional[int] = None
+    #: Cache priming strategy value ("fill", "flush", "none").
+    prime_strategy: Optional[str] = None
+    #: Executor mode value ("naive", "opt").
+    mode: Optional[str] = None
+    #: Name of the trace format the violation was observed in.
+    trace_config_name: Optional[str] = None
+
+    def record_provenance(
+        self, executor: "SimulatorExecutor", patched: bool = False
+    ) -> None:
+        """Stamp the detecting executor's configuration onto the violation."""
+        self.patched = patched
+        self.uarch_config = executor.uarch_config
+        self.sandbox_pages = executor.sandbox.pages
+        self.prime_strategy = executor.prime_strategy.value
+        self.mode = executor.mode.value
+        self.trace_config_name = executor.trace_config.name
+
+    def build_executor(
+        self,
+        trace_config: Optional["TraceConfig"] = None,
+        uarch_config: Optional[UarchConfig] = None,
+        sandbox: Optional[object] = None,
+    ) -> "SimulatorExecutor":
+        """Rebuild an executor with the configuration the violation was found
+        under.
+
+        ``trace_config`` / ``uarch_config`` / ``sandbox`` override single
+        aspects (e.g. analysis swaps in the access-order trace, amplification
+        escalation swaps in a reduced configuration) while everything else —
+        defense, ``patched`` flag, priming, mode — comes from provenance.
+        """
+        from repro.defenses.registry import create_defense
+        from repro.executor.executor import ExecutionMode, SimulatorExecutor
+        from repro.executor.traces import get_trace_config
+        from repro.generator.sandbox import Sandbox
+
+        defense_name = self.defense
+        patched = self.patched
+        if trace_config is None and self.trace_config_name is not None:
+            trace_config = get_trace_config(self.trace_config_name)
+        if sandbox is None and self.sandbox_pages is not None:
+            sandbox = Sandbox(pages=self.sandbox_pages)
+        kwargs = {}
+        if trace_config is not None:
+            kwargs["trace_config"] = trace_config
+        return SimulatorExecutor(
+            defense_factory=lambda: create_defense(defense_name, patched=patched),
+            uarch_config=uarch_config or self.uarch_config,
+            sandbox=sandbox,
+            mode=ExecutionMode(self.mode) if self.mode else ExecutionMode.OPT,
+            prime_strategy=self.prime_strategy,
+            **kwargs,
+        )
 
     def trace_diff(self) -> Dict[str, Dict[str, Tuple]]:
         return self.trace_a.diff(self.trace_b)

@@ -72,3 +72,37 @@ def rows_to_markdown(rows: Iterable[Mapping[str, object]], columns: Sequence[str
     for row in rows:
         lines.append("| " + " | ".join(_format_value(row.get(column)) for column in columns) + " |")
     return "\n".join(lines)
+
+
+def render_triage_table(report) -> str:
+    """Render a triage report's clusters as a paper-style text table.
+
+    One row per unique-signature cluster: how many violations share the root
+    cause, the representative's witness size before/after minimization, and
+    the leaking access identified by first-divergence analysis.  ``report``
+    is a :class:`~repro.triage.report.TriageReport` (typed loosely to keep
+    this module dependency-free).
+    """
+    rows: List[Dict[str, object]] = []
+    for cluster in report.clusters:
+        entry = report.violations[cluster.representative]
+        rows.append(
+            {
+                "cluster": f"x{cluster.size}",
+                "defense": entry.defense,
+                "contract": entry.contract,
+                "reproduced": entry.reproduced,
+                "instructions": (
+                    f"{entry.original_instruction_count}"
+                    f"->{entry.minimized_instruction_count}"
+                    if entry.minimized_instruction_count is not None
+                    else "-"
+                ),
+                "leaking_pc": (
+                    f"{entry.leaking_pc:#x}" if entry.leaking_pc is not None else None
+                ),
+                "kind": entry.leaking_kind,
+                "amplified": entry.amplification_level,
+            }
+        )
+    return format_table(rows)

@@ -1,0 +1,23 @@
+"""End-to-end violation triage: re-validate, minimize, root-cause, dedup.
+
+The paper's workflow after detection (Section 3.3, Figures 4/6/8/9):
+confirmed violations are re-validated under a shared micro-architectural
+context, shrunk to a minimal gadget, root-caused via the first diverging
+memory access, and deduplicated by signature before being counted.
+:class:`TriagePipeline` runs that loop over a
+:class:`~repro.core.campaign.CampaignResult`, fanning the independent
+per-violation work out through an execution backend, and produces a
+:class:`TriageReport` that campaigns embed in their JSON summaries.
+"""
+
+from repro.triage.pipeline import TriageConfig, TriagePipeline, triage_one
+from repro.triage.report import TriageCluster, TriagedViolation, TriageReport
+
+__all__ = [
+    "TriageConfig",
+    "TriagePipeline",
+    "TriageCluster",
+    "TriagedViolation",
+    "TriageReport",
+    "triage_one",
+]

@@ -31,6 +31,29 @@ def _signatures(result):
     return sorted(str(signature) for signature in unique_violations(result.violations))
 
 
+def _square(value):
+    """Module-level so the process backend can pickle it for map_items."""
+    return value * value
+
+
+class TestMapItems:
+    """Generic fan-out of independent work items through a backend."""
+
+    def test_inline_map_preserves_item_order(self):
+        assert InlineBackend().map_items(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_process_map_matches_inline(self):
+        items = list(range(8))
+        inline = InlineBackend().map_items(_square, items)
+        pooled = ProcessPoolBackend(workers=2).map_items(_square, items)
+        assert pooled == inline
+
+    def test_process_map_single_item_runs_in_process(self):
+        # The <= 1 item fast path must not spin up a pool.
+        assert ProcessPoolBackend(workers=4).map_items(_square, [5]) == [25]
+        assert ProcessPoolBackend(workers=4).map_items(_square, []) == []
+
+
 class TestBackendRegistry:
     def test_available_backends(self):
         assert set(available_backends()) == {"inline", "process"}

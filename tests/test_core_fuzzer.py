@@ -98,7 +98,25 @@ class TestDetector:
         assert len(violations) == 1
         violation = violations[0]
         assert violation.differing_components == ("l1d",)
-        assert violation.violating_input_count == 3
+        # Two entries agree (the majority group); exactly one disagrees.
+        assert violation.violating_input_count == 1
+
+    def test_violating_input_count_excludes_the_majority_group(self):
+        """Regression: the count used to include every executed entry of the
+        class (majority group included), over-reporting disagreeing inputs."""
+        from repro.litmus.programs import spectre_v1
+        from repro.generator import Sandbox
+
+        program = spectre_v1(Sandbox().aligned_mask)
+        test_case = RelationalTestCase(program=program)
+        contract_trace = ContractTrace(observations=(("pc", 1),))
+        for payload in ([1], [1], [1], [2], [2], [3]):
+            entry = test_case.add(None, contract_trace)
+            entry.record = _fake_record(_entry_trace(payload))
+        violations = ViolationDetector("baseline", "CT-SEQ").detect(test_case)
+        assert len(violations) == 1
+        # Majority group has 3 agreeing entries; 2 + 1 entries disagree.
+        assert violations[0].violating_input_count == 3
 
     def test_identical_traces_produce_no_violation(self):
         from repro.litmus.programs import spectre_v1
