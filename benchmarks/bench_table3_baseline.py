@@ -38,7 +38,11 @@ def _campaign(contract: str, mode: ExecutionMode, programs: int) -> dict:
         "campaign_seconds": round(result.wall_clock_seconds, 2),
         "modeled_seconds": round(result.modeled_seconds(), 1),
         "detection_seconds": None if detection is None else round(detection, 2),
+        "test_cases_generated": result.total_test_cases_generated,
+        "test_cases_executed": result.total_test_cases,
+        "skip_counters": result.skip_counters(),
         "throughput_per_s": round(result.throughput(), 1),
+        "effective_throughput_per_s": round(result.effective_throughput(), 1),
         "modeled_throughput_per_s": round(result.modeled_throughput(), 2),
     }
 

@@ -44,7 +44,10 @@ def _run_campaign(defense: str, programs: int, seed: int) -> dict:
         "detection_seconds": None if detection is None else round(detection, 2),
         "unique_violations": len(unique_violations(result.violations)),
         "test_cases": result.total_test_cases,
+        "test_cases_generated": result.total_test_cases_generated,
+        "skip_counters": result.skip_counters(),
         "throughput_per_s": round(result.throughput(), 1),
+        "effective_throughput_per_s": round(result.effective_throughput(), 1),
         "campaign_seconds": round(result.wall_clock_seconds, 2),
     }
 

@@ -1,25 +1,42 @@
 """Tracked fuzzing-throughput benchmark (``BENCH_throughput.json``).
 
 The paper's headline metric is *test cases per second* against simulated
-secure-speculation defenses.  This benchmark measures it three ways:
+secure-speculation defenses.  This benchmark measures it four ways:
 
 * **end-to-end** — a real fuzzing campaign per defense (inline backend,
   fixed seed): generation, contract traces, boosting, simulation, detection;
+* **end-to-end wide** — the same campaign with input boosting disabled
+  (every input is an independent base input).  This is the regime where
+  contract-class-aware execution scheduling matters: most contract classes
+  are singletons, so ``--filter singleton`` skips the bulk of the O3
+  simulations without losing any detectable violation;
 * **emulator-only** — contract-trace extraction under CT-COND (speculative
   exploration plus taint tracking) on a fixed program/input set;
 * **core-only** — O3 simulation of a fixed program/input set on the
   baseline defense, no fuzzing around it.
 
-``benchmarks/throughput_baseline.json`` is the pre-``DecodedProgram``
-recording (checked in, produced with ``--record-baseline`` at the previous
-commit); every run embeds it in the artifact next to the live numbers so
-the speedup trajectory survives across PRs.  ``--check-floor`` compares the
-end-to-end number against ``benchmarks/throughput_floor.json`` and exits
-non-zero on a >30% regression (the CI smoke job).
+A **trace-hash** micro-benchmark tracks the cached ``UarchTrace.__hash__``
+(detection, minimization and triage re-hash identical traces O(class²)
+times).
+
+Test-case rates count *generated* test cases (raw coverage); each row also
+reports ``test_cases_executed`` and the scheduler's skip counters, so
+filtered runs show raw next to effective throughput.  Rates are identical
+for unfiltered runs, keeping baseline comparisons meaningful.
+
+``benchmarks/throughput_baseline.json`` is the pre-PR recording (checked
+in, produced with ``--record-baseline`` at the previous commit, always with
+the default ``--filter none``); every run embeds it in the artifact next to
+the live numbers so the speedup trajectory survives across PRs.
+``--check-floor`` compares the end-to-end number against
+``benchmarks/throughput_floor.json`` and exits non-zero on a >30%
+regression (the CI smoke job).  ``--require-skips`` additionally fails when
+a filtered run skipped nothing (the CI guard that the scheduler actually
+engages).
 
 Run it with::
 
-    PYTHONPATH=src python benchmarks/bench_throughput.py [--smoke]
+    PYTHONPATH=src python benchmarks/bench_throughput.py [--smoke] [--filter singleton]
 """
 
 from __future__ import annotations
@@ -32,8 +49,9 @@ import time
 from typing import Dict, List, Optional
 
 from repro.backends import InlineBackend
-from repro.core import Campaign, FuzzerConfig
+from repro.core import Campaign, FilterLevel, FuzzerConfig
 from repro.executor.executor import ExecutionMode, SimulatorExecutor
+from repro.executor.traces import UarchTrace
 from repro.generator.config import GeneratorConfig
 from repro.generator.inputs import InputGenerator
 from repro.generator.program_generator import ProgramGenerator
@@ -42,17 +60,37 @@ from repro.model.contracts import get_contract
 from repro.model.emulator import Emulator
 
 HERE = os.path.dirname(os.path.abspath(__file__))
-ARTIFACT_PATH = os.path.join(HERE, "artifacts", "BENCH_throughput.json")
 BASELINE_PATH = os.path.join(HERE, "throughput_baseline.json")
 FLOOR_PATH = os.path.join(HERE, "throughput_floor.json")
+
+
+def artifact_path(filter_level: "FilterLevel") -> str:
+    """Filtered runs get their own artifact so they never overwrite the
+    unfiltered measurement CI uploads for the perf trajectory."""
+    suffix = "" if filter_level is FilterLevel.NONE else f"_{filter_level.value}"
+    return os.path.join(HERE, "artifacts", f"BENCH_throughput{suffix}.json")
 
 SEED = 7
 DEFENSES = ("baseline", "invisispec", "stt", "cleanupspec", "speclfb")
 
 #: Budgets shared by the baseline recording and every later measurement —
 #: the speedup ratio is only meaningful on identical workloads.
-FULL_BUDGET = {"programs": 6, "inputs": 14, "micro_programs": 4, "micro_inputs": 10}
-SMOKE_BUDGET = {"programs": 2, "inputs": 7, "micro_programs": 2, "micro_inputs": 4}
+FULL_BUDGET = {
+    "programs": 6,
+    "inputs": 14,
+    "wide_programs": 8,
+    "wide_inputs": 14,
+    "micro_programs": 4,
+    "micro_inputs": 10,
+}
+SMOKE_BUDGET = {
+    "programs": 2,
+    "inputs": 7,
+    "wide_programs": 3,
+    "wide_inputs": 10,
+    "micro_programs": 2,
+    "micro_inputs": 4,
+}
 
 
 def _fixed_workload(count: int, inputs: int):
@@ -64,24 +102,38 @@ def _fixed_workload(count: int, inputs: int):
     return sandbox, programs, test_inputs
 
 
-def measure_end_to_end(defense: str, programs: int, inputs: int) -> Dict[str, object]:
+def measure_end_to_end(
+    defense: str,
+    programs: int,
+    inputs: int,
+    filter_level: FilterLevel = FilterLevel.NONE,
+    boost_factor: Optional[int] = None,
+) -> Dict[str, object]:
     """One inline-backend campaign; returns test-cases/sec and a time split."""
     config = FuzzerConfig(
         defense=defense,
         programs_per_instance=programs,
         inputs_per_program=inputs,
         seed=SEED,
+        filter=filter_level,
     )
+    if boost_factor is not None:
+        config.boost_factor = boost_factor
     campaign = Campaign(config, instances=1, backend=InlineBackend())
     started = time.perf_counter()
     result = campaign.run()
     elapsed = time.perf_counter() - started
     payload = result.to_json_dict()
+    generated = result.total_test_cases_generated
     row: Dict[str, object] = {
         "defense": defense,
-        "test_cases": result.total_test_cases,
+        "filter": filter_level.value,
+        "test_cases": generated,
+        "test_cases_executed": result.total_test_cases,
+        "skipped": result.skip_counters(),
         "seconds": round(elapsed, 3),
-        "test_cases_per_second": round(result.total_test_cases / elapsed, 2),
+        "test_cases_per_second": round(generated / elapsed, 2),
+        "executed_per_second": round(result.total_test_cases / elapsed, 2),
         "violations": result.violation_count(),
     }
     if "time_breakdown" in payload:
@@ -133,25 +185,91 @@ def measure_core_only(programs: int, inputs: int) -> Dict[str, object]:
     }
 
 
-def run_suite(budget: Dict[str, int], defenses=DEFENSES) -> Dict[str, object]:
+def measure_trace_hashing(samples: int = 64, repeats: int = 2000) -> Dict[str, object]:
+    """Micro-benchmark of the cached ``UarchTrace`` hash.
+
+    Builds a corpus of realistic traces (64 L1D tag tuples + 16 D-TLB
+    entries each), then measures cold first-hash cost against re-hash cost.
+    Detection/minimization/triage re-hash every trace O(class²) times, so
+    the cached path is the one the fuzzing loop actually pays.
+    """
+    corpus = [
+        UarchTrace(
+            components=(
+                ("l1d", tuple((way, 0x1000 * way + index) for way in range(8) for index in range(8))),
+                ("dtlb", tuple((index, 0x4000 + 64 * index + sample) for index in range(16))),
+            )
+        )
+        for sample in range(samples)
+    ]
+    started = time.perf_counter()
+    for trace in corpus:
+        hash(trace)
+    cold_elapsed = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for _ in range(repeats):
+        for trace in corpus:
+            hash(trace)
+    cached_elapsed = time.perf_counter() - started
+    total_cached = samples * repeats
+    return {
+        "traces": samples,
+        "cold_hashes_per_second": round(samples / cold_elapsed, 1) if cold_elapsed else None,
+        "cached_hashes_per_second": (
+            round(total_cached / cached_elapsed, 1) if cached_elapsed else None
+        ),
+    }
+
+
+def run_suite(
+    budget: Dict[str, int],
+    defenses=DEFENSES,
+    filter_level: FilterLevel = FilterLevel.NONE,
+) -> Dict[str, object]:
     end_to_end: List[Dict[str, object]] = []
     for defense in defenses:
-        row = measure_end_to_end(defense, budget["programs"], budget["inputs"])
+        row = measure_end_to_end(
+            defense, budget["programs"], budget["inputs"], filter_level
+        )
         end_to_end.append(row)
         print(
             f"  end-to-end {defense:12s} {row['test_cases_per_second']:>8} tc/s "
             f"({row['test_cases']} test cases in {row['seconds']}s)"
         )
+    end_to_end_wide: List[Dict[str, object]] = []
+    for defense in defenses:
+        row = measure_end_to_end(
+            defense,
+            budget["wide_programs"],
+            budget["wide_inputs"],
+            filter_level,
+            boost_factor=0,
+        )
+        end_to_end_wide.append(row)
+        skipped = sum(row["skipped"].values())
+        print(
+            f"  wide       {defense:12s} {row['test_cases_per_second']:>8} tc/s "
+            f"({row['test_cases']} test cases, {skipped} skipped, {row['seconds']}s)"
+        )
     emulator_row = measure_emulator_only(budget["micro_programs"], budget["micro_inputs"])
     print(f"  emulator-only (CT-COND)   {emulator_row['traces_per_second']:>8} traces/s")
     core_row = measure_core_only(budget["micro_programs"], budget["micro_inputs"])
     print(f"  core-only (baseline O3)   {core_row['simulations_per_second']:>8} sims/s")
+    hash_row = measure_trace_hashing()
+    print(
+        f"  trace-hash (cold/cached)  {hash_row['cold_hashes_per_second']:>8} / "
+        f"{hash_row['cached_hashes_per_second']} hashes/s"
+    )
     return {
         "budget": dict(budget),
         "seed": SEED,
+        "filter": filter_level.value,
         "end_to_end": end_to_end,
+        "end_to_end_wide": end_to_end_wide,
         "emulator_only": emulator_row,
         "core_only": core_row,
+        "trace_hash": hash_row,
     }
 
 
@@ -174,21 +292,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--smoke", action="store_true", help="tiny budget (CI)")
     parser.add_argument(
+        "--filter",
+        choices=[level.value for level in FilterLevel],
+        default="none",
+        help="execution-scheduler filter level for the end-to-end campaigns",
+    )
+    parser.add_argument(
         "--record-baseline",
         action="store_true",
-        help=f"write the measurement to {os.path.relpath(BASELINE_PATH)} instead of comparing",
+        help=f"write the measurement to {os.path.relpath(BASELINE_PATH)} instead of "
+        "comparing (always recorded with the default filter=none)",
     )
     parser.add_argument(
         "--check-floor",
         action="store_true",
         help="fail (exit 1) if end-to-end throughput regresses >30%% below the floor",
     )
+    parser.add_argument(
+        "--require-skips",
+        action="store_true",
+        help="fail (exit 1) unless the filtered run skipped at least one test case "
+        "on the wide (unboosted) workload",
+    )
     args = parser.parse_args(argv)
+
+    filter_level = FilterLevel(args.filter)
+    if args.record_baseline and filter_level is not FilterLevel.NONE:
+        parser.error("--record-baseline always uses filter=none (the seed behavior)")
 
     budget = SMOKE_BUDGET if args.smoke else FULL_BUDGET
     label = "smoke" if args.smoke else "full"
-    print(f"== throughput benchmark ({label} budget) ==")
-    suite = run_suite(budget)
+    print(f"== throughput benchmark ({label} budget, filter={filter_level.value}) ==")
+    suite = run_suite(budget, filter_level=filter_level)
 
     if args.record_baseline:
         with open(BASELINE_PATH, "w") as handle:
@@ -200,6 +335,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     artifact: Dict[str, object] = {
         "label": "Fuzzing throughput (test cases per second)",
         "budget_label": label,
+        "filter": filter_level.value,
         "current": suite,
     }
 
@@ -207,13 +343,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if baseline is not None and baseline.get("budget") == suite["budget"]:
         artifact["pre_pr_baseline"] = baseline
         speedups: Dict[str, float] = {}
-        base_rows = {row["defense"]: row for row in baseline.get("end_to_end", [])}
-        for row in suite["end_to_end"]:
-            base = base_rows.get(row["defense"])
-            if base and base["test_cases_per_second"]:
-                speedups[row["defense"]] = round(
-                    row["test_cases_per_second"] / base["test_cases_per_second"], 2
-                )
+        for scenario in ("end_to_end", "end_to_end_wide"):
+            base_rows = {row["defense"]: row for row in baseline.get(scenario, [])}
+            suffix = "" if scenario == "end_to_end" else ":wide"
+            for row in suite.get(scenario, []):
+                base = base_rows.get(row["defense"])
+                if base and base["test_cases_per_second"]:
+                    speedups[row["defense"] + suffix] = round(
+                        row["test_cases_per_second"] / base["test_cases_per_second"], 2
+                    )
         base_emu = baseline.get("emulator_only", {}).get("traces_per_second")
         if base_emu:
             speedups["emulator_only"] = round(
@@ -231,11 +369,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         artifact["speedup_vs_pre_pr"] = None
         print("  [warn] baseline budget differs from current budget; no speedups computed")
 
-    os.makedirs(os.path.dirname(ARTIFACT_PATH), exist_ok=True)
-    with open(ARTIFACT_PATH, "w") as handle:
+    destination = artifact_path(filter_level)
+    os.makedirs(os.path.dirname(destination), exist_ok=True)
+    with open(destination, "w") as handle:
         json.dump(artifact, handle, indent=2)
         handle.write("\n")
-    print(f"[artifact] {os.path.relpath(ARTIFACT_PATH)}")
+    print(f"[artifact] {os.path.relpath(destination)}")
+
+    exit_code = 0
+    if args.require_skips:
+        skipped = sum(
+            sum(row["skipped"].values()) for row in suite.get("end_to_end_wide", [])
+        )
+        verdict = "ok" if skipped else "NO SKIPS"
+        print(f"[skips] wide workload skipped {skipped} test cases: {verdict}")
+        if not skipped:
+            exit_code = 1
 
     if args.check_floor:
         floor = _load_json(FLOOR_PATH)
@@ -251,7 +400,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         if headline < minimum:
             return 1
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -21,6 +21,7 @@ from repro.backends import available_backends
 from repro.core.campaign import Campaign
 from repro.core.config import FuzzerConfig
 from repro.core.filtering import unique_violations
+from repro.core.scheduler import FilterLevel
 from repro.defenses.registry import available_defenses
 from repro.executor.executor import ExecutionMode
 from repro.executor.traces import get_trace_config
@@ -46,6 +47,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--mode", choices=[mode.value for mode in ExecutionMode], default="opt"
     )
     parser.add_argument("--trace", default="l1d+tlb", help="uarch trace format")
+    parser.add_argument(
+        "--filter",
+        choices=[level.value for level in FilterLevel],
+        default="none",
+        help="execution-scheduler filter: skip the O3 simulation of test cases "
+        "that can never witness a violation (singleton contract classes; with "
+        "'speculation', also classes whose functional runs show no "
+        "misspeculatable branch and no tainted-address memory access)",
+    )
     parser.add_argument("--l1d-ways", type=int, default=None, help="amplification: L1D ways")
     parser.add_argument("--mshrs", type=int, default=None, help="amplification: MSHR count")
     parser.add_argument("--stop-on-violation", action="store_true")
@@ -131,6 +141,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         programs_per_instance=args.programs,
         inputs_per_program=args.inputs,
         mode=ExecutionMode(args.mode),
+        filter=FilterLevel(args.filter),
         trace_config=get_trace_config(args.trace),
         uarch_config=uarch_config,
         stop_on_violation=args.stop_on_violation,

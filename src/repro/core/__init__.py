@@ -12,6 +12,7 @@ throughput/detection-time metrics reported in Tables 3-6.
 """
 
 from repro.core.config import FuzzerConfig, resolve_contract_name
+from repro.core.scheduler import ExecutionPlan, ExecutionScheduler, FilterLevel
 from repro.core.seeding import derive_instance_seed, splitmix64
 from repro.core.testcase import TestCase
 from repro.core.violation import Violation
@@ -31,6 +32,9 @@ from repro.core.minimize import (
 __all__ = [
     "FuzzerConfig",
     "resolve_contract_name",
+    "ExecutionPlan",
+    "ExecutionScheduler",
+    "FilterLevel",
     "derive_instance_seed",
     "splitmix64",
     "TestCase",

@@ -51,6 +51,8 @@ class CampaignResult:
     rounds_completed: int = 0
     #: Test cases observed through streaming (matches reports when complete).
     streamed_test_cases: int = 0
+    #: Of those, test cases that actually went through an O3 simulation.
+    streamed_test_cases_executed: int = 0
     #: Violations observed through streaming.
     streamed_violations: int = 0
     #: Attached by :class:`~repro.triage.TriagePipeline` when the campaign's
@@ -64,6 +66,9 @@ class CampaignResult:
         self.rounds_completed += 1
         self.streamed_test_cases += result.test_cases
         self.streamed_violations += len(result.violations)
+        self.streamed_test_cases_executed += getattr(
+            result, "test_cases_executed", result.test_cases
+        )
 
     @property
     def stopped_early(self) -> bool:
@@ -84,7 +89,21 @@ class CampaignResult:
 
     @property
     def total_test_cases(self) -> int:
+        """Simulated (executed) test cases across all instances."""
         return sum(report.test_cases_executed for report in self.reports)
+
+    @property
+    def total_test_cases_generated(self) -> int:
+        """Generated (covered) test cases, including scheduler-skipped ones."""
+        return sum(report.test_cases_generated for report in self.reports)
+
+    def skip_counters(self) -> Dict[str, int]:
+        """Scheduler-skipped test cases per filter reason, across instances."""
+        counters: Dict[str, int] = {}
+        for report in self.reports:
+            for reason, count in report.skip_counters.items():
+                counters[reason] = counters.get(reason, 0) + count
+        return counters
 
     def violation_count(self) -> int:
         return len(self.violations)
@@ -108,10 +127,20 @@ class CampaignResult:
         return sum(times) / len(times)
 
     def throughput(self) -> float:
-        """Test cases per wall-clock second, summed over instances."""
+        """Simulated test cases per wall-clock second, summed over instances."""
         if self.wall_clock_seconds <= 0:
             return 0.0
         return self.total_test_cases / self.wall_clock_seconds
+
+    def effective_throughput(self) -> float:
+        """Generated (covered) test cases per wall-clock second.
+
+        Exceeds :meth:`throughput` when a scheduler filter level is active:
+        skipped test cases are covered without being simulated.
+        """
+        if self.wall_clock_seconds <= 0:
+            return 0.0
+        return self.total_test_cases_generated / self.wall_clock_seconds
 
     def modeled_seconds(self) -> float:
         return sum(report.modeled_seconds for report in self.reports)
@@ -157,7 +186,7 @@ class CampaignResult:
     def as_table_row(self) -> Dict[str, object]:
         """The Table-4 style summary row for this campaign."""
         detection = self.average_detection_seconds()
-        return {
+        row = {
             "defense": self.defense,
             "contract": self.contract,
             "detected": self.detected,
@@ -168,6 +197,14 @@ class CampaignResult:
             "throughput_per_second": round(self.throughput(), 1),
             "campaign_seconds": round(self.wall_clock_seconds, 2),
         }
+        skipped = self.skip_counters()
+        if skipped:
+            row["test_cases_generated"] = self.total_test_cases_generated
+            row["test_cases_skipped"] = sum(skipped.values())
+            row["effective_throughput_per_second"] = round(
+                self.effective_throughput(), 1
+            )
+        return row
 
     def to_json_dict(self) -> Dict[str, object]:
         """Machine-readable campaign summary (the CLI's ``--json`` payload)."""
@@ -182,11 +219,14 @@ class CampaignResult:
             "rounds_completed": self.rounds_completed,
             "stopped_early": self.stopped_early,
             "test_cases": self.total_test_cases,
+            "test_cases_generated": self.total_test_cases_generated,
+            "skip_counters": self.skip_counters(),
             "violations": self.violation_count(),
             "unique_violations": len(groups),
             "avg_detection_seconds": self.average_detection_seconds(),
             "campaign_seconds": round(self.wall_clock_seconds, 3),
             "throughput_per_second": round(self.throughput(), 2),
+            "effective_throughput_per_second": round(self.effective_throughput(), 2),
             "modeled_seconds": round(self.modeled_seconds(), 3),
             "time_breakdown": self.time_breakdown(),
             "violation_groups": [
@@ -201,6 +241,8 @@ class CampaignResult:
                 {
                     "programs_tested": report.programs_tested,
                     "test_cases_executed": report.test_cases_executed,
+                    "test_cases_generated": report.test_cases_generated,
+                    "skip_counters": dict(report.skip_counters),
                     "violations": len(report.violations),
                     "first_detection_seconds": report.first_detection_wall_clock,
                 }

@@ -8,6 +8,7 @@ from typing import Optional
 from repro.executor.executor import ExecutionMode, PrimeStrategy
 from repro.executor.traces import BASELINE_TRACE, TraceConfig
 from repro.generator.config import GeneratorConfig
+from repro.core.scheduler import FilterLevel
 from repro.uarch.config import UarchConfig
 
 
@@ -41,6 +42,12 @@ class FuzzerConfig:
     mode: ExecutionMode = ExecutionMode.OPT
     #: Cache priming strategy (defaults to the defense's recommendation).
     prime_strategy: Optional[PrimeStrategy] = None
+    #: Execution-scheduler filter level ("none", "singleton", "speculation"):
+    #: how aggressively the round pipeline skips the O3 simulation of entries
+    #: that can never witness a Definition 2.1 violation.  The default
+    #: preserves seed behavior (simulate everything); benchmarks and the CLI
+    #: opt in explicitly.  See :mod:`repro.core.scheduler`.
+    filter: FilterLevel = FilterLevel.NONE
     #: Micro-architectural trace format.
     trace_config: TraceConfig = BASELINE_TRACE
     #: Simulated core configuration (use ``UarchConfig.with_amplification``

@@ -11,20 +11,15 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.core.testcase import TestCase, TestCaseEntry
+from typing import Optional
+
+from repro.core.testcase import TestCase, TestCaseEntry, group_by_contract_trace
 from repro.core.violation import Violation
 from repro.executor.traces import UarchTrace
 from repro.model.emulator import ContractTrace
+from repro.uarch.core import materialize_uarch_context
 
-
-def group_by_contract_trace(
-    entries: List[TestCaseEntry],
-) -> Dict[ContractTrace, List[TestCaseEntry]]:
-    """Partition entries into contract-equivalence classes."""
-    classes: Dict[ContractTrace, List[TestCaseEntry]] = {}
-    for entry in entries:
-        classes.setdefault(entry.contract_trace, []).append(entry)
-    return classes
+__all__ = ["ViolationDetector", "group_by_contract_trace"]
 
 
 class ViolationDetector:
@@ -34,10 +29,21 @@ class ViolationDetector:
         self.defense = defense
         self.contract = contract
 
-    def detect(self, test_case: TestCase) -> List[Violation]:
-        """Return one violation per contract-equivalence class that leaks."""
+    def detect(
+        self,
+        test_case: TestCase,
+        classes: Optional[Dict[ContractTrace, List[TestCaseEntry]]] = None,
+    ) -> List[Violation]:
+        """Return one violation per contract-equivalence class that leaks.
+
+        ``classes`` optionally reuses a partition computed earlier (the
+        execution scheduler partitions the same entries before simulating),
+        saving a second hash-and-group pass over every contract trace.
+        """
+        if classes is None:
+            classes = group_by_contract_trace(test_case.entries)
         violations: List[Violation] = []
-        for contract_trace, entries in group_by_contract_trace(test_case.entries).items():
+        for contract_trace, entries in classes.items():
             executed = [entry for entry in entries if entry.uarch_trace is not None]
             if len(executed) < 2:
                 continue
@@ -66,11 +72,19 @@ class ViolationDetector:
                 differing_components=witness_a.uarch_trace.differing_components(
                     witness_b.uarch_trace
                 ),
+                # Materialize the witnesses' lazy context snapshots now:
+                # validation's shared-context re-runs invalidate the predictor
+                # journals, and violations must be picklable for pooled
+                # backends.
                 uarch_context=(
-                    witness_a.record.uarch_context if witness_a.record is not None else None
+                    materialize_uarch_context(witness_a.record.uarch_context)
+                    if witness_a.record is not None
+                    else None
                 ),
                 uarch_context_b=(
-                    witness_b.record.uarch_context if witness_b.record is not None else None
+                    materialize_uarch_context(witness_b.record.uarch_context)
+                    if witness_b.record is not None
+                    else None
                 ),
             )
             violations.append(violation)

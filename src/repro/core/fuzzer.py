@@ -2,11 +2,13 @@
 
 Each round the fuzzer generates a random program, derives a set of inputs —
 base inputs plus contract-preserving boosted variants — collects contract
-traces from the leakage model and micro-architectural traces from the
-simulator executor, and checks Definition 2.1.  Detected violations are
-optionally validated (re-run from a matched micro-architectural context, to
-rule out differences caused by AMuLeT-Opt carrying predictor state between
-inputs) and analysed for a deduplication signature.
+traces from the leakage model, partitions the entries into
+contract-equivalence classes, simulates only the entries that could witness
+a Definition 2.1 violation (see :mod:`repro.core.scheduler`), and runs the
+detector.  Detected violations are optionally validated (re-run from a
+matched micro-architectural context, to rule out differences caused by
+AMuLeT-Opt carrying predictor state between inputs) and analysed for a
+deduplication signature.
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ from typing import Dict, Iterator, List, Optional
 from repro.core.analysis import compute_signature
 from repro.core.config import FuzzerConfig, resolve_contract_name
 from repro.core.detector import ViolationDetector
+from repro.core.scheduler import ExecutionScheduler
 from repro.core.testcase import TestCase
 from repro.core.violation import Violation
 from repro.defenses.registry import create_defense, defense_class
@@ -33,11 +36,19 @@ from repro.model.emulator import Emulator
 
 @dataclass
 class RoundResult:
-    """Outcome of testing one program."""
+    """Outcome of testing one program.
+
+    ``test_cases`` counts *generated* entries (the round's coverage);
+    ``test_cases_executed`` counts the entries the scheduler actually paid
+    an O3 simulation for.  They are equal unless a filter level is active.
+    """
 
     program_index: int
     test_cases: int
     violations: List[Violation] = field(default_factory=list)
+    test_cases_executed: int = 0
+    #: Entries skipped by the execution scheduler, per filter reason.
+    skipped: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -47,7 +58,13 @@ class FuzzerReport:
     defense: str
     contract: str
     programs_tested: int = 0
+    #: Test cases that went through an O3 simulation.
     test_cases_executed: int = 0
+    #: Test cases generated (contract traces collected), including ones the
+    #: execution scheduler skipped as unable to witness a violation.
+    test_cases_generated: int = 0
+    #: Skipped test cases per filter reason ("singleton", "speculation").
+    skip_counters: Dict[str, int] = field(default_factory=dict)
     violations: List[Violation] = field(default_factory=list)
     wall_clock_seconds: float = 0.0
     modeled_seconds: float = 0.0
@@ -63,11 +80,26 @@ class FuzzerReport:
     def detected(self) -> bool:
         return bool(self.violations)
 
+    @property
+    def test_cases_skipped(self) -> int:
+        return sum(self.skip_counters.values())
+
     def throughput(self) -> float:
-        """Test cases per wall-clock second of this implementation."""
+        """Simulated (executed) test cases per wall-clock second."""
         if self.wall_clock_seconds <= 0:
             return 0.0
         return self.test_cases_executed / self.wall_clock_seconds
+
+    def effective_throughput(self) -> float:
+        """Generated (covered) test cases per wall-clock second.
+
+        With a filter level active this exceeds :meth:`throughput`: skipped
+        test cases are covered — proven unable to witness a violation —
+        without paying for their simulation.
+        """
+        if self.wall_clock_seconds <= 0:
+            return 0.0
+        return self.test_cases_generated / self.wall_clock_seconds
 
     def modeled_throughput(self) -> float:
         """Test cases per modeled (gem5-equivalent) second."""
@@ -105,6 +137,7 @@ class AmuletFuzzer:
             prime_strategy=config.prime_strategy,
         )
         self.detector = ViolationDetector(config.defense, self.contract_name)
+        self.scheduler = ExecutionScheduler(config.filter)
 
         self._start_time: Optional[float] = None
         self._stopped = False
@@ -126,12 +159,21 @@ class AmuletFuzzer:
         )
 
         test_case = self._build_test_case(program)
-        self.executor.load_program(program)
-        for entry in test_case.entries:
-            entry.record = self.executor.run_input(entry.test_input)
+        # Partition into contract-equivalence classes up front and simulate
+        # only the entries that could witness a Definition 2.1 violation.  A
+        # fully skipped round never starts a simulator (in Opt mode that is
+        # the per-program gem5-startup charge).
+        plan = self.scheduler.plan(test_case)
+        if plan.executable:
+            self.executor.load_program(program)
+            for entry in plan.executable:
+                entry.record = self.executor.run_input(entry.test_input)
+        skip_counts = plan.skip_counts()
+        if skip_counts:
+            self.executor.record_skips(skip_counts)
         self.executor.time.charge_other()
 
-        violations = self.detector.detect(test_case)
+        violations = self.detector.detect(test_case, classes=plan.classes)
         confirmed: List[Violation] = []
         for violation in violations:
             violation.record_provenance(self.executor, patched=config.patched)
@@ -145,7 +187,12 @@ class AmuletFuzzer:
             confirmed.append(violation)
 
         self.report.programs_tested += 1
-        self.report.test_cases_executed += len(test_case)
+        self.report.test_cases_generated += len(test_case)
+        self.report.test_cases_executed += plan.executed
+        for reason, count in skip_counts.items():
+            self.report.skip_counters[reason] = (
+                self.report.skip_counters.get(reason, 0) + count
+            )
         self.report.violations.extend(confirmed)
         self._refresh_report_times()
         if confirmed and self.report.first_detection_wall_clock is None:
@@ -155,6 +202,8 @@ class AmuletFuzzer:
             program_index=program_index,
             test_cases=len(test_case),
             violations=confirmed,
+            test_cases_executed=plan.executed,
+            skipped=skip_counts,
         )
 
     # -- full instance ----------------------------------------------------------------
@@ -211,7 +260,9 @@ class AmuletFuzzer:
         for base_index in range(config.base_inputs_per_program):
             base_input = self.input_generator.generate_one()
             model_result = emulator.run(base_input, self.contract)
-            base_entry = test_case.add(base_input, model_result.trace)
+            base_entry = test_case.add(
+                base_input, model_result.trace, speculation=model_result.speculation
+            )
             variants = self.input_generator.mutate_preserving(
                 base_input,
                 model_result.relevant_labels,
@@ -219,8 +270,13 @@ class AmuletFuzzer:
                 salt=base_index,
             )
             for variant in variants:
-                variant_trace = emulator.contract_trace(variant, self.contract)
-                test_case.add(variant, variant_trace, boosted_from=base_entry.index)
+                variant_result = emulator.run(variant, self.contract)
+                test_case.add(
+                    variant,
+                    variant_result.trace,
+                    boosted_from=base_entry.index,
+                    speculation=variant_result.speculation,
+                )
         self.executor.time.charge_contract_traces(len(test_case))
         self.executor.time.add_wall_clock(
             CONTRACT_TRACES, time.perf_counter() - contract_started
@@ -269,7 +325,7 @@ class AmuletFuzzer:
         violation.detection_wall_clock_seconds = self.report.wall_clock_seconds
         violation.detection_modeled_seconds = self.report.modeled_seconds
         violation.detected_at_program = program_index
-        violation.detected_at_test_case = self.report.test_cases_executed + test_cases
+        violation.detected_at_test_case = self.report.test_cases_generated + test_cases
 
     def _refresh_report_times(self) -> None:
         if self._start_time is not None:

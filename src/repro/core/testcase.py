@@ -8,7 +8,7 @@ from typing import Dict, List, Optional
 from repro.executor.executor import ExecutionRecord
 from repro.generator.inputs import Input
 from repro.isa.program import Program
-from repro.model.emulator import ContractTrace
+from repro.model.emulator import ContractTrace, SpeculationProfile
 
 
 @dataclass
@@ -20,10 +20,35 @@ class TestCaseEntry:
     contract_trace: ContractTrace
     record: Optional[ExecutionRecord] = None
     boosted_from: Optional[int] = None
+    #: Leak-potential summary of the functional (contract) run, used by the
+    #: execution scheduler's ``speculation`` filter level.
+    speculation: Optional[SpeculationProfile] = None
+    #: Set by the scheduler when the entry's O3 simulation was skipped
+    #: ("singleton" / "speculation"); skipped entries have no record.
+    skip_reason: Optional[str] = None
 
     @property
     def uarch_trace(self):
         return self.record.trace if self.record is not None else None
+
+    @property
+    def executed(self) -> bool:
+        return self.record is not None
+
+
+def group_by_contract_trace(
+    entries: List[TestCaseEntry],
+) -> Dict[ContractTrace, List[TestCaseEntry]]:
+    """Partition entries into contract-equivalence classes.
+
+    The single implementation behind ``TestCase.contract_classes`` and the
+    detector: the scheduler computes the partition once per round and hands
+    it to detection, so this must stay cheap and allocation-light.
+    """
+    classes: Dict[ContractTrace, List[TestCaseEntry]] = {}
+    for entry in entries:
+        classes.setdefault(entry.contract_trace, []).append(entry)
+    return classes
 
 
 @dataclass
@@ -38,12 +63,14 @@ class TestCase:
         test_input: Input,
         contract_trace: ContractTrace,
         boosted_from: Optional[int] = None,
+        speculation: Optional[SpeculationProfile] = None,
     ) -> TestCaseEntry:
         entry = TestCaseEntry(
             index=len(self.entries),
             test_input=test_input,
             contract_trace=contract_trace,
             boosted_from=boosted_from,
+            speculation=speculation,
         )
         self.entries.append(entry)
         return entry
@@ -53,7 +80,4 @@ class TestCase:
 
     def contract_classes(self) -> Dict[ContractTrace, List[TestCaseEntry]]:
         """Group entries into contract-equivalence classes."""
-        classes: Dict[ContractTrace, List[TestCaseEntry]] = {}
-        for entry in self.entries:
-            classes.setdefault(entry.contract_trace, []).append(entry)
-        return classes
+        return group_by_contract_trace(self.entries)

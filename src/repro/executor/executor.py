@@ -15,7 +15,7 @@ from repro.generator.inputs import Input
 from repro.generator.sandbox import Sandbox
 from repro.isa.program import Program
 from repro.uarch.config import UarchConfig
-from repro.uarch.core import O3Core, SimulationResult
+from repro.uarch.core import O3Core, SimulationResult, materialize_uarch_context
 
 
 class ExecutionMode(str, Enum):
@@ -56,11 +56,22 @@ DEFAULT_PRIME_STRATEGY: Dict[str, PrimeStrategy] = {
 
 @dataclass
 class ExecutionRecord:
-    """The executor's output for one test case."""
+    """The executor's output for one test case.
+
+    ``uarch_context`` is the predictor state the run *started* from.  The
+    executor stores it as a :class:`~repro.uarch.core.LazyUarchContext`
+    (O(1) journal marks); consumers that actually need the dict — the
+    detector stamping violation witnesses, validation re-runs — call
+    :meth:`materialized_context` (or
+    :func:`~repro.uarch.core.materialize_uarch_context` on the attribute).
+    """
 
     trace: UarchTrace
     result: SimulationResult
-    uarch_context: dict
+    uarch_context: object
+
+    def materialized_context(self) -> Optional[dict]:
+        return materialize_uarch_context(self.uarch_context)
 
 
 class SimulatorExecutor:
@@ -105,6 +116,7 @@ class SimulatorExecutor:
         self._core: Optional[O3Core] = None
         self.simulator_starts = 0
         self.test_cases_executed = 0
+        self.test_cases_skipped = 0
 
     # -- lifecycle ------------------------------------------------------------
     def load_program(self, program: Program) -> None:
@@ -166,8 +178,17 @@ class SimulatorExecutor:
             core = self._core
 
         if uarch_context is not None:
+            # restore_uarch_context materializes the (possibly lazy) context
+            # before invalidating the journals, so forcing a context captured
+            # on this very core is safe.
             core.restore_uarch_context(uarch_context)
-        context_before = core.save_uarch_context()
+        if self.mode is ExecutionMode.NAIVE:
+            # The core is brand new (or just restored): its state dicts are
+            # tiny, and an eager copy avoids keeping every per-input core's
+            # predictors and journals alive for the rest of the round.
+            context_before = core.save_uarch_context()
+        else:
+            context_before = core.lazy_uarch_context()
 
         priming_instructions = self._prime(core)
 
@@ -186,12 +207,57 @@ class SimulatorExecutor:
         self.test_cases_executed += 1
         return ExecutionRecord(trace=trace, result=result, uarch_context=context_before)
 
+    def record_skips(self, counts: Dict[str, int]) -> None:
+        """Account for test cases the execution scheduler decided not to run."""
+        self.test_cases_skipped += sum(counts.values())
+        self.time.record_skips(counts)
+
     def trace_batch(
-        self, program: Program, inputs: List[Input]
-    ) -> List[ExecutionRecord]:
-        """Convenience helper: load a program and run a list of inputs."""
-        self.load_program(program)
-        return [self.run_input(test_input) for test_input in inputs]
+        self,
+        program: Program,
+        inputs: List[Input],
+        contract=None,
+        filter_level="none",
+    ) -> List[Optional[ExecutionRecord]]:
+        """Load a program, schedule its inputs, and run the witnessable ones.
+
+        With the default ``filter_level="none"`` every input is executed and
+        the result list contains one record per input, as before.  With a
+        ``contract`` (a :class:`~repro.model.contracts.Contract`) and a
+        stricter level, the batch is first run through the functional
+        emulator to collect contract traces, partitioned by the
+        :class:`~repro.core.scheduler.ExecutionScheduler`, and only the
+        entries that could witness a violation are simulated; skipped
+        positions hold ``None``.
+        """
+        from repro.core.scheduler import ExecutionScheduler, FilterLevel
+
+        level = FilterLevel(filter_level)
+        if level is not FilterLevel.NONE and contract is None:
+            raise ValueError("trace_batch filtering requires a contract")
+
+        if level is FilterLevel.NONE:
+            self.load_program(program)
+            return [self.run_input(test_input) for test_input in inputs]
+
+        from repro.core.testcase import TestCase
+        from repro.model.emulator import Emulator
+
+        emulator = Emulator(program, self.sandbox)
+        test_case = TestCase(program=program)
+        for test_input in inputs:
+            model_result = emulator.run(test_input, contract)
+            test_case.add(
+                test_input, model_result.trace, speculation=model_result.speculation
+            )
+        plan = ExecutionScheduler(level).plan(test_case)
+        if plan.executable:
+            # A fully skipped batch never pays the simulator start-up.
+            self.load_program(program)
+            for entry in plan.executable:
+                entry.record = self.run_input(entry.test_input)
+        self.record_skips(plan.skip_counts())
+        return [entry.record for entry in test_case.entries]
 
     def run_pair_with_shared_context(
         self,

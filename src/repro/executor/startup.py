@@ -57,11 +57,20 @@ TABLE2_COMPONENTS = (
 
 @dataclass
 class ModeledTime:
-    """Accumulates modeled seconds per component, plus real wall-clock time."""
+    """Accumulates modeled seconds per component, plus real wall-clock time.
+
+    Also tracks test cases the execution scheduler *skipped* per filter
+    reason: a skipped test case pays generation and contract-trace costs but
+    neither simulation nor trace extraction, and campaign artifacts report
+    raw (generated) next to effective (executed) throughput.
+    """
 
     model: TimeModel = field(default_factory=TimeModel)
     modeled_seconds: Dict[str, float] = field(default_factory=dict)
     wall_clock_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Test cases skipped by the execution scheduler, per filter reason
+    #: ("singleton", "speculation").
+    skipped_test_cases: Dict[str, int] = field(default_factory=dict)
 
     # -- modeled charges -----------------------------------------------------
     def charge(self, component: str, seconds: float) -> None:
@@ -84,6 +93,16 @@ class ModeledTime:
 
     def charge_other(self, programs: int = 1) -> None:
         self.charge(OTHERS, programs * self.model.other_per_program_seconds)
+
+    # -- scheduler skips ------------------------------------------------------
+    def record_skips(self, counts: Dict[str, int]) -> None:
+        for reason, count in counts.items():
+            self.skipped_test_cases[reason] = (
+                self.skipped_test_cases.get(reason, 0) + count
+            )
+
+    def total_skipped(self) -> int:
+        return sum(self.skipped_test_cases.values())
 
     # -- wall clock ---------------------------------------------------------------
     def add_wall_clock(self, component: str, seconds: float) -> None:
@@ -114,3 +133,4 @@ class ModeledTime:
             self.charge(component, seconds)
         for component, seconds in other.wall_clock_seconds.items():
             self.add_wall_clock(component, seconds)
+        self.record_skips(other.skipped_test_cases)

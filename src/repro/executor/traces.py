@@ -97,14 +97,48 @@ def get_trace_config(name: str) -> TraceConfig:
     return _TRACE_REGISTRY[key]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class UarchTrace:
-    """One micro-architectural trace: named components with hashable payloads."""
+    """One micro-architectural trace: named components with hashable payloads.
+
+    Traces are hashed and compared O(class²) times per round — detection
+    groups them into dictionaries, and minimization/triage re-group after
+    every candidate re-run — so the hash (and the component-name lookup
+    dict) is computed once and cached.  The payload is immutable, so the
+    cache can never go stale.
+    """
 
     components: Tuple[Tuple[str, Tuple], ...]
 
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, UarchTrace):
+            return NotImplemented
+        return self.components == other.components
+
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash(self.components)
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __getstate__(self) -> Dict[str, Tuple]:
+        # Cached hashes must not cross process boundaries: string hashing is
+        # per-process salted, so a pickled ``_hash`` would disagree with the
+        # receiving process's ``hash(components)``.
+        return {"components": self.components}
+
+    def __setstate__(self, state: Dict[str, Tuple]) -> None:
+        object.__setattr__(self, "components", state["components"])
+
     def as_dict(self) -> Dict[str, Tuple]:
-        return dict(self.components)
+        cached = self.__dict__.get("_as_dict")
+        if cached is None:
+            cached = dict(self.components)
+            object.__setattr__(self, "_as_dict", cached)
+        return cached
 
     def component(self, name: str) -> Tuple:
         return self.as_dict().get(name, ())

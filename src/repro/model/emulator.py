@@ -66,6 +66,33 @@ class ContractTrace:
         return " ".join(parts)
 
 
+@dataclass(frozen=True)
+class SpeculationProfile:
+    """What one functional run says about a test case's leak potential.
+
+    Definition 2.1 violations in this model require micro-architectural
+    state to diverge between inputs with equal contract traces.  A run that
+    executed no conditional branch cannot mispredict (direct jumps resolve
+    statically), and a run with no tainted-address load touches the same
+    cache lines for every input of its contract class — so a class whose
+    entries all have an empty profile cannot witness a violation, and the
+    ``speculation`` filter level skips its O3 simulation entirely.
+    """
+
+    #: Conditional branches executed on the architectural path.
+    cond_branches: int = 0
+    #: Memory accesses (loads *and* stores, architectural or speculatively
+    #: explored) whose address registers carry input taint.  Stores count
+    #: too: a store at an input-dependent address dirties input-dependent
+    #: cache lines even under contracts that do not expose addresses.
+    tainted_accesses: int = 0
+
+    @property
+    def witnessable(self) -> bool:
+        """Can a simulated run of this test case leak input-dependent state?"""
+        return self.cond_branches > 0 or self.tainted_accesses > 0
+
+
 @dataclass
 class ModelResult:
     """Everything the leakage model produces for one (program, input) pair."""
@@ -79,6 +106,7 @@ class ModelResult:
     architectural_accesses: Tuple[Tuple[str, int, int], ...] = field(
         default_factory=tuple
     )
+    speculation: SpeculationProfile = field(default_factory=SpeculationProfile)
 
 
 class _UndoLog:
@@ -138,7 +166,12 @@ class Emulator:
         observations: List[Tuple] = []
         executed_pcs: List[int] = []
         accesses: List[Tuple[str, int, int]] = []
-        counters = {"architectural": 0, "speculative": 0}
+        counters = {
+            "architectural": 0,
+            "speculative": 0,
+            "cond_branches": 0,
+            "tainted_accesses": 0,
+        }
 
         self._run_architectural(
             state=state,
@@ -158,6 +191,10 @@ class Emulator:
             final_registers=state.registers.as_dict(),
             speculative_instruction_count=counters["speculative"],
             architectural_accesses=tuple(accesses),
+            speculation=SpeculationProfile(
+                cond_branches=counters["cond_branches"],
+                tainted_accesses=counters["tainted_accesses"],
+            ),
         )
 
     def contract_trace(self, test_input: Input, contract: Contract) -> ContractTrace:
@@ -191,7 +228,7 @@ class Emulator:
                 )
 
             self._observe_and_taint(
-                entry, state, taint, contract, observations, accesses, False
+                entry, state, taint, contract, observations, accesses, counters, False
             )
 
             # Explore the mispredicted direction of conditional branches.
@@ -253,7 +290,7 @@ class Emulator:
                 break
 
             self._observe_and_taint(
-                entry, state, taint, contract, observations, accesses, True
+                entry, state, taint, contract, observations, accesses, counters, True
             )
 
             if entry.is_cond_branch and nest_branches:
@@ -309,8 +346,11 @@ class Emulator:
         contract: Contract,
         observations: List[Tuple],
         accesses: List[Tuple[str, int, int]],
+        counters: Dict[str, int],
         speculative: bool,
     ) -> None:
+        if entry.is_cond_branch and not speculative:
+            counters["cond_branches"] += 1
         if contract.expose_pc:
             observations.append(("pc", entry.pc))
             if entry.is_cond_branch:
@@ -321,6 +361,8 @@ class Emulator:
         if entry.is_memory_access:
             address = entry.effective_address(state.registers.read)
             address_taint = taint.registers(entry.address_registers)
+            if address_taint:
+                counters["tainted_accesses"] += 1
             if contract.expose_memory_address:
                 if entry.is_load:
                     observations.append(("load", address))

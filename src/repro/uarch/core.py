@@ -181,6 +181,52 @@ class SimulationError(RuntimeError):
     """Raised for internal inconsistencies (never for slow test cases)."""
 
 
+class LazyUarchContext:
+    """Copy-on-demand snapshot of the predictor state AMuLeT-Opt carries over.
+
+    Capturing the context eagerly costs several dict copies per test case;
+    almost every context is thrown away unread (only violation witnesses are
+    re-run from theirs).  A lazy context is two journal marks; materializing
+    replays the predictors' undo journals back to the marks and caches the
+    resulting plain dict (after which the predictor references are dropped,
+    so a materialized context never pins a core).
+    """
+
+    __slots__ = ("_branch_predictor", "_dependence_predictor", "_bp_mark", "_mdp_mark", "_value")
+
+    def __init__(self, core: "O3Core") -> None:
+        self._branch_predictor = core.branch_predictor
+        self._dependence_predictor = core.dependence_predictor
+        self._bp_mark = core.branch_predictor.journal_mark()
+        self._mdp_mark = core.dependence_predictor.journal_mark()
+        self._value: Optional[dict] = None
+
+    def materialize(self) -> dict:
+        """The plain ``{"branch_predictor": ..., "dependence_predictor": ...}``
+        dict `save_uarch_context` would have returned at capture time."""
+        if self._value is None:
+            self._value = {
+                "branch_predictor": self._branch_predictor.state_at(self._bp_mark),
+                "dependence_predictor": self._dependence_predictor.state_at(self._mdp_mark),
+            }
+            self._branch_predictor = None
+            self._dependence_predictor = None
+        return self._value
+
+    def __getitem__(self, key: str):
+        return self.materialize()[key]
+
+    def keys(self):
+        return self.materialize().keys()
+
+
+def materialize_uarch_context(context) -> Optional[dict]:
+    """Normalize a (possibly lazy) micro-architectural context to a dict."""
+    if isinstance(context, LazyUarchContext):
+        return context.materialize()
+    return context
+
+
 class O3Core:
     """The simulated out-of-order CPU hosting a secure-speculation defense."""
 
@@ -282,7 +328,12 @@ class O3Core:
             "dependence_predictor": self.dependence_predictor.save_state(),
         }
 
-    def restore_uarch_context(self, context: dict) -> None:
+    def lazy_uarch_context(self) -> LazyUarchContext:
+        """O(1) deferred form of :meth:`save_uarch_context` (journal marks)."""
+        return LazyUarchContext(self)
+
+    def restore_uarch_context(self, context) -> None:
+        context = materialize_uarch_context(context)
         self.branch_predictor.restore_state(context["branch_predictor"])
         self.dependence_predictor.restore_state(context["dependence_predictor"])
 

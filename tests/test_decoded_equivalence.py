@@ -18,8 +18,18 @@ import json
 
 import pytest
 
-from golden_utils import GOLDEN_PATH, collect_golden
+from golden_utils import (
+    DEFENSES,
+    FULL_TRACE,
+    GOLDEN_INPUTS,
+    GOLDEN_PATH,
+    GOLDEN_PROGRAMS,
+    GOLDEN_SEED,
+    collect_golden,
+)
+from repro.executor.executor import ExecutionMode, SimulatorExecutor
 from repro.generator.config import GeneratorConfig
+from repro.generator.inputs import InputGenerator
 from repro.generator.program_generator import ProgramGenerator
 from repro.generator.sandbox import Sandbox
 from repro.isa.decoded import DecodedProgram, decode_program
@@ -154,6 +164,111 @@ class TestDecodedProgram:
         assert decoded.at_pc(program.code_base + 1) is None
         assert decoded.at_pc(program.code_base - INSTRUCTION_SIZE) is None
         assert decoded.at_pc(program.end_pc) is None
+
+
+class TestFilterTracePreservation:
+    """Execution filtering never changes the bytes of a collected trace.
+
+    The golden traces did not need re-recording for the execution scheduler
+    because filtering only *removes* simulations: this suite replays the
+    golden workload (same seed, same programs, same full trace format)
+    through the scheduler-routed ``trace_batch`` and asserts that every
+    trace still collected under ``singleton``/``speculation`` filtering is
+    byte-identical to the unfiltered run.  Duplicated inputs guarantee
+    multi-entry contract classes so the comparison is never vacuous.  Naive
+    mode is exactly preserving whatever the skip order; in Opt mode the
+    skipped entries are scheduled after the executed ones here, which keeps
+    the carried predictor state identical too (see the fidelity caveat in
+    ``repro.core.scheduler``).
+    """
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        sandbox = Sandbox()
+        program_generator = ProgramGenerator(
+            GeneratorConfig(sandbox=sandbox), seed=GOLDEN_SEED
+        )
+        input_generator = InputGenerator(sandbox, seed=GOLDEN_SEED)
+        programs = [program_generator.generate() for _ in range(GOLDEN_PROGRAMS)]
+        base_inputs = [input_generator.generate_one() for _ in range(GOLDEN_INPUTS)]
+        # Duplicate the first two inputs so their contract classes have two
+        # members (executed); the remaining inputs stay singletons (skipped).
+        inputs = [
+            base_inputs[0],
+            base_inputs[0],
+            base_inputs[1],
+            base_inputs[1],
+            *base_inputs[2:],
+        ]
+        return sandbox, programs, inputs
+
+    @staticmethod
+    def _collect(sandbox, programs, inputs, mode, filter_level):
+        from repro.model.contracts import get_contract
+
+        contract = get_contract("CT-SEQ")
+        traces = []
+        executor = SimulatorExecutor(
+            defense_factory="baseline",
+            sandbox=sandbox,
+            trace_config=FULL_TRACE,
+            mode=mode,
+        )
+        for program in programs:
+            records = executor.trace_batch(
+                program, inputs, contract=contract, filter_level=filter_level
+            )
+            traces.append(
+                [
+                    None if record is None else repr(record.trace.components)
+                    for record in records
+                ]
+            )
+        return traces, executor.test_cases_skipped
+
+    @pytest.mark.parametrize("mode", (ExecutionMode.NAIVE, ExecutionMode.OPT))
+    @pytest.mark.parametrize("filter_level", ("singleton", "speculation"))
+    def test_collected_traces_are_byte_identical(self, workload, mode, filter_level):
+        sandbox, programs, inputs = workload
+        reference, _ = self._collect(sandbox, programs, inputs, mode, "none")
+        filtered, skipped = self._collect(sandbox, programs, inputs, mode, filter_level)
+        assert skipped > 0, "the workload must actually exercise the filter"
+        compared = 0
+        for program_traces, reference_traces in zip(filtered, reference):
+            for trace_bytes, reference_bytes in zip(program_traces, reference_traces):
+                if trace_bytes is None:
+                    continue
+                compared += 1
+                assert trace_bytes == reference_bytes
+        assert compared > 0, "filtering must leave some traces to compare"
+
+    def test_unfiltered_batch_still_matches_the_goldens(self, golden):
+        """``trace_batch`` with ``filter=none`` reproduces the recorded
+        golden traces exactly (same executor lifecycle as the collection)."""
+        sandbox = Sandbox()
+        program_generator = ProgramGenerator(
+            GeneratorConfig(sandbox=sandbox), seed=GOLDEN_SEED
+        )
+        input_generator = InputGenerator(sandbox, seed=GOLDEN_SEED)
+        programs = [program_generator.generate() for _ in range(GOLDEN_PROGRAMS)]
+        inputs = [input_generator.generate_one() for _ in range(GOLDEN_INPUTS)]
+        recorded = {
+            (run["defense"], run["mode"], run["program"], run["input"]): run["trace"]
+            for run in golden["uarch_runs"]
+        }
+        for defense in DEFENSES:
+            for mode in (ExecutionMode.NAIVE, ExecutionMode.OPT):
+                executor = SimulatorExecutor(
+                    defense_factory=defense,
+                    sandbox=sandbox,
+                    trace_config=FULL_TRACE,
+                    mode=mode,
+                )
+                for program_index, program in enumerate(programs):
+                    records = executor.trace_batch(program, inputs)
+                    for input_index, record in enumerate(records):
+                        key = (defense, mode.value, program_index, input_index)
+                        assert repr(record.trace.components) == recorded[key]
 
 
 class TestConditionPredicates:
