@@ -10,6 +10,7 @@ The public API mirrors the structure of the paper:
 * :mod:`repro.executor` -- micro-architectural trace extraction (Naive/Opt);
 * :mod:`repro.core` -- the AMuLeT fuzzer, campaigns, analysis and filtering;
 * :mod:`repro.backends` -- pluggable campaign execution (inline / process pool);
+* :mod:`repro.feedback` -- coverage map, persistent corpus, mutation strategies;
 * :mod:`repro.triage` -- re-validate, minimize, root-cause and dedup violations;
 * :mod:`repro.litmus` -- directed programs reproducing each reported leak;
 * :mod:`repro.reporting` -- paper-style tables and the experiment registry.
@@ -43,6 +44,14 @@ from repro.core import (
     unique_violations,
 )
 from repro.defenses import available_defenses, create_defense
+from repro.feedback import (
+    Corpus,
+    CorpusEntry,
+    CoverageTracker,
+    FeedbackProgramSource,
+    GenerationStrategy,
+    ProgramMutator,
+)
 from repro.executor import (
     BASELINE_TRACE,
     ExecutionMode,
@@ -74,6 +83,12 @@ __all__ = [
     "unique_violations",
     "available_defenses",
     "create_defense",
+    "Corpus",
+    "CorpusEntry",
+    "CoverageTracker",
+    "FeedbackProgramSource",
+    "GenerationStrategy",
+    "ProgramMutator",
     "BASELINE_TRACE",
     "ExecutionMode",
     "SimulatorExecutor",

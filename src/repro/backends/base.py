@@ -79,6 +79,10 @@ class ExecutionBackend(ABC):
     @staticmethod
     def empty_report(config: FuzzerConfig) -> FuzzerReport:
         """Report for an instance whose work was cancelled before it started."""
+        from repro.feedback.strategy import GenerationStrategy
+
         return FuzzerReport(
-            defense=config.defense, contract=resolve_contract_name(config)
+            defense=config.defense,
+            contract=resolve_contract_name(config),
+            strategy=GenerationStrategy(config.strategy).value,
         )

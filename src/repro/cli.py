@@ -22,9 +22,11 @@ from repro.core.campaign import Campaign
 from repro.core.config import FuzzerConfig
 from repro.core.filtering import unique_violations
 from repro.core.scheduler import FilterLevel
-from repro.defenses.registry import available_defenses
+from repro.defenses.registry import available_defenses, describe_defenses
 from repro.executor.executor import ExecutionMode
 from repro.executor.traces import get_trace_config
+from repro.feedback import GenerationStrategy
+from repro.model.contracts import list_contracts
 from repro.triage import TriageConfig, TriagePipeline
 from repro.uarch.config import UarchConfig
 
@@ -55,6 +57,27 @@ def build_parser() -> argparse.ArgumentParser:
         "that can never witness a violation (singleton contract classes; with "
         "'speculation', also classes whose functional runs show no "
         "misspeculatable branch and no tainted-address memory access)",
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=[strategy.value for strategy in GenerationStrategy],
+        default="random",
+        help="test-program generation strategy: fresh random programs (the "
+        "default), mutation of energy-selected corpus entries, or a per-round "
+        "mix of both (see README, 'Feedback-guided fuzzing')",
+    )
+    parser.add_argument(
+        "--corpus",
+        metavar="PATH",
+        default=None,
+        help="persistent corpus file: loaded (if it exists) to seed every "
+        "instance, and the campaign's merged corpus is saved back to it",
+    )
+    parser.add_argument(
+        "--corpus-litmus",
+        action="store_true",
+        help="additionally seed each instance's corpus from the directed "
+        "litmus gadgets relevant to the chosen defense",
     )
     parser.add_argument("--l1d-ways", type=int, default=None, help="amplification: L1D ways")
     parser.add_argument("--mshrs", type=int, default=None, help="amplification: MSHR count")
@@ -105,7 +128,34 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="deprecated alias for --backend process",
     )
+    parser.add_argument(
+        "--list-defenses",
+        action="store_true",
+        help="print the defense registry (name, contract, description) and exit",
+    )
+    parser.add_argument(
+        "--list-contracts",
+        action="store_true",
+        help="print the leakage-contract registry and exit",
+    )
     return parser
+
+
+def print_defenses() -> None:
+    for row in describe_defenses():
+        print(
+            f"{row['name']:<12} contract={row['contract']:<9} "
+            f"sandbox_pages={row['sandbox_pages']:<4} {row['description']}"
+        )
+
+
+def print_contracts() -> None:
+    for contract in list_contracts():
+        observation = " + ".join(contract.observation_clause()) or "none"
+        print(
+            f"{contract.name:<10} observation: {observation:<28} "
+            f"execution: {contract.execution_clause()}"
+        )
 
 
 def select_backend(args: argparse.Namespace) -> str:
@@ -120,6 +170,12 @@ def select_backend(args: argparse.Namespace) -> str:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.list_defenses or args.list_contracts:
+        if args.list_defenses:
+            print_defenses()
+        if args.list_contracts:
+            print_contracts()
+        return 0
     if args.workers is not None and args.workers < 1:
         parser.error("--workers must be at least 1")
     if args.backend == "inline" and (args.parallel or (args.workers or 1) > 1):
@@ -142,6 +198,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         inputs_per_program=args.inputs,
         mode=ExecutionMode(args.mode),
         filter=FilterLevel(args.filter),
+        strategy=GenerationStrategy(args.strategy),
+        corpus_path=args.corpus,
+        corpus_litmus=args.corpus_litmus,
         trace_config=get_trace_config(args.trace),
         uarch_config=uarch_config,
         stop_on_violation=args.stop_on_violation,
@@ -159,6 +218,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             workers=args.triage_workers,
         )
         pipeline.run(result)  # attaches result.triage
+        if args.corpus:
+            # Re-save so triage-minimized witnesses also enter the corpus.
+            result.save_corpus(args.corpus)
 
     if args.json:
         print(json.dumps(result.to_json_dict(), indent=2))
@@ -173,6 +235,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(
             f"  stopped early: {result.rounds_completed}/{result.scheduled_programs} "
             "scheduled programs executed"
+        )
+    if args.strategy != "random" or args.corpus or args.corpus_litmus:
+        feedback = result.feedback_summary()
+        coverage = feedback["coverage"] or {}
+        print(
+            f"  feedback: strategy={feedback['strategy']} "
+            f"mutated={feedback['programs_mutated']}/{feedback['programs_mutated'] + feedback['programs_random']} "
+            f"coverage_bits={coverage.get('bits_set', 0)} "
+            f"corpus={feedback['corpus']['entries']} entries {feedback['corpus']['origins']}"
         )
     groups = unique_violations(result.violations)
     if groups:

@@ -24,8 +24,11 @@ if TYPE_CHECKING:  # imported lazily at runtime: backends/triage depend on core
     from repro.triage.report import TriageReport
 from repro.core.filtering import unique_violations
 from repro.core.fuzzer import FuzzerReport, RoundResult
+from repro.core.metrics import safe_rate
 from repro.core.seeding import derive_instance_seed
 from repro.core.violation import Violation
+from repro.feedback.corpus import Corpus, CorpusEntry, program_dict_id
+from repro.feedback.coverage import CoverageTracker
 
 
 @dataclass
@@ -58,6 +61,15 @@ class CampaignResult:
     #: Attached by :class:`~repro.triage.TriagePipeline` when the campaign's
     #: violations have been re-validated, minimized and clustered.
     triage: Optional["TriageReport"] = None
+    #: Memoized aggregations (a CLI run requests the merged corpus several
+    #: times: corpus save, JSON summary, table footer, post-triage re-save).
+    #: Keyed on whether triage results were folded in yet.
+    _merged_corpus_cache: Optional[tuple] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _merged_coverage_cache: Optional[tuple] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # -- incremental aggregation ------------------------------------------------
     def record_round(self, instance_index: int, result: RoundResult) -> None:
@@ -127,10 +139,13 @@ class CampaignResult:
         return sum(times) / len(times)
 
     def throughput(self) -> float:
-        """Simulated test cases per wall-clock second, summed over instances."""
-        if self.wall_clock_seconds <= 0:
-            return 0.0
-        return self.total_test_cases / self.wall_clock_seconds
+        """Simulated test cases per wall-clock second, summed over instances.
+
+        Guarded against zero / near-zero campaign durations (tiny smoke
+        campaigns): a rate over an unmeasurably short interval reports 0.0
+        rather than ``inf`` rows in tables and JSON artifacts.
+        """
+        return safe_rate(self.total_test_cases, self.wall_clock_seconds)
 
     def effective_throughput(self) -> float:
         """Generated (covered) test cases per wall-clock second.
@@ -138,18 +153,90 @@ class CampaignResult:
         Exceeds :meth:`throughput` when a scheduler filter level is active:
         skipped test cases are covered without being simulated.
         """
-        if self.wall_clock_seconds <= 0:
-            return 0.0
-        return self.total_test_cases_generated / self.wall_clock_seconds
+        return safe_rate(self.total_test_cases_generated, self.wall_clock_seconds)
 
     def modeled_seconds(self) -> float:
         return sum(report.modeled_seconds for report in self.reports)
 
     def modeled_throughput(self) -> float:
-        modeled = self.modeled_seconds()
-        if modeled <= 0:
-            return 0.0
-        return self.total_test_cases / modeled
+        return safe_rate(self.total_test_cases, self.modeled_seconds())
+
+    # -- feedback aggregation ----------------------------------------------------
+    def coverage_counters(self) -> Dict[str, int]:
+        """Coverage-novelty counters summed over instances.
+
+        Per-instance counters are independent (instances never see each
+        other's bitmaps mid-run), so the sums are identical whichever
+        backend executed the campaign.
+        """
+        counters: Dict[str, int] = {}
+        for report in self.reports:
+            for name, count in report.coverage_counters.items():
+                if name == "bits_set":
+                    continue  # not additive; see merged_coverage()
+                counters[name] = counters.get(name, 0) + count
+        return counters
+
+    def merged_coverage(self) -> Optional[CoverageTracker]:
+        """OR of all instances' coverage bitmaps (None when none reported)."""
+        if self._merged_coverage_cache is not None:
+            return self._merged_coverage_cache[0]
+        merged: Optional[CoverageTracker] = None
+        for report in self.reports:
+            if report.coverage_bitmap is None:
+                continue
+            if merged is None:
+                merged = CoverageTracker(size_bits=len(report.coverage_bitmap) * 8)
+            merged.merge_bitmap(report.coverage_bitmap)
+        if merged is not None:
+            counters = self.coverage_counters()
+            merged.features_observed = counters.get("features_observed", 0)
+            merged.new_features = counters.get("new_features", 0)
+            merged.rounds_observed = counters.get("rounds_observed", 0)
+            merged.rounds_with_new_coverage = counters.get(
+                "rounds_with_new_coverage", 0
+            )
+        self._merged_coverage_cache = (merged,)
+        return merged
+
+    def merged_corpus(self) -> Corpus:
+        """Union of all instances' corpora plus triage-minimized witnesses.
+
+        Entries are content-addressed, so the merge is independent of both
+        instance order and execution backend.  Entries are deep-copied
+        through their JSON form: merging must never mutate the per-instance
+        report objects.  Memoized per triage state (triage attaching later
+        adds minimized witnesses, so the cache is keyed on its presence).
+        """
+        cache_key = self.triage is not None
+        if self._merged_corpus_cache is not None and self._merged_corpus_cache[0] == cache_key:
+            return self._merged_corpus_cache[1]
+        corpus = Corpus()
+        for report in self.reports:
+            for entry in report.corpus_entries:
+                corpus.merge_entry(CorpusEntry.from_json_dict(entry.to_json_dict()))
+        if self.triage is not None:
+            for triaged in getattr(self.triage, "violations", []):
+                if triaged.minimized_program_dict is None:
+                    continue
+                corpus.merge_entry(
+                    CorpusEntry(
+                        entry_id=program_dict_id(triaged.minimized_program_dict),
+                        program_dict=triaged.minimized_program_dict,
+                        origin="minimized",
+                        energy=8.0,
+                        inputs=tuple(triaged.minimized_inputs),
+                    )
+                )
+        self._merged_corpus_cache = (cache_key, corpus)
+        return corpus
+
+    def save_corpus(self, path: str) -> Corpus:
+        """Merge this campaign's corpus into ``path`` and write it back."""
+        corpus = Corpus.load_if_exists(path)
+        corpus.merge(self.merged_corpus())
+        corpus.save(path)
+        return corpus
 
     def time_breakdown(self) -> Dict[str, Dict[str, float]]:
         """Where campaign time went, aggregated over instances.
@@ -206,6 +293,32 @@ class CampaignResult:
             )
         return row
 
+    def feedback_summary(self) -> Dict[str, object]:
+        """Coverage/corpus state of the campaign (the JSON ``feedback`` block)."""
+        coverage = self.merged_coverage()
+        corpus = self.merged_corpus()
+        strategies = sorted({report.strategy for report in self.reports})
+        return {
+            "strategy": strategies[0] if len(strategies) == 1 else strategies,
+            "programs_random": sum(r.programs_random for r in self.reports),
+            "programs_mutated": sum(r.programs_mutated for r in self.reports),
+            "coverage": (
+                {
+                    "size_bits": coverage.size_bits,
+                    "bits_set": coverage.bits_set(),
+                    "coverage_fraction": round(coverage.coverage_fraction(), 6),
+                    "counters": coverage.counters(),
+                }
+                if coverage is not None
+                else None
+            ),
+            "corpus": {
+                "entries": len(corpus),
+                "origins": corpus.origin_histogram(),
+                "total_energy": round(corpus.total_energy(), 2),
+            },
+        }
+
     def to_json_dict(self) -> Dict[str, object]:
         """Machine-readable campaign summary (the CLI's ``--json`` payload)."""
         groups = unique_violations(self.violations)
@@ -229,6 +342,7 @@ class CampaignResult:
             "effective_throughput_per_second": round(self.effective_throughput(), 2),
             "modeled_seconds": round(self.modeled_seconds(), 3),
             "time_breakdown": self.time_breakdown(),
+            "feedback": self.feedback_summary(),
             "violation_groups": [
                 {
                     "signature": str(signature),
@@ -341,4 +455,9 @@ class Campaign:
         started = time.perf_counter()
         result.reports = list(executor.run(plan, on_round=handle_round))
         result.wall_clock_seconds = time.perf_counter() - started
+        if self.config.corpus_path:
+            # Persist the merged corpus so the next campaign compounds on
+            # this one's discoveries (callers that triage afterwards re-save
+            # to also capture minimized witnesses).
+            result.save_corpus(self.config.corpus_path)
         return result

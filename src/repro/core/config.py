@@ -7,6 +7,7 @@ from typing import Optional
 
 from repro.executor.executor import ExecutionMode, PrimeStrategy
 from repro.executor.traces import BASELINE_TRACE, TraceConfig
+from repro.feedback.strategy import GenerationStrategy
 from repro.generator.config import GeneratorConfig
 from repro.core.scheduler import FilterLevel
 from repro.uarch.config import UarchConfig
@@ -65,6 +66,19 @@ class FuzzerConfig:
     #: first confirmed violation also cancels all *other* instances'
     #: outstanding work (whatever the backend).
     stop_on_violation: bool = False
+    #: How the fuzzer picks the next test program: fresh random generation
+    #: (the seed behavior), mutation of energy-selected corpus entries, or a
+    #: per-round mix of both.  See :mod:`repro.feedback`.
+    strategy: GenerationStrategy = GenerationStrategy.RANDOM
+    #: Persistent corpus file.  Loaded (when it exists) to seed every
+    #: instance's corpus before the campaign; the campaign saves the merged
+    #: corpus back to the same path when it finishes.
+    corpus_path: Optional[str] = None
+    #: Seed each instance's corpus from the directed litmus gadgets relevant
+    #: to the configured defense (plus the baseline Spectre gadgets).
+    corpus_litmus: bool = False
+    #: Probability that a hybrid-strategy round mutates (vs generates fresh).
+    hybrid_mutation_probability: float = 0.5
     #: Seed of this instance (campaigns derive one seed per instance).
     seed: int = 0
     #: Campaign execution backend ("inline" or "process"); see

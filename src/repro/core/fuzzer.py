@@ -15,19 +15,24 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.analysis import compute_signature
 from repro.core.config import FuzzerConfig, resolve_contract_name
 from repro.core.detector import ViolationDetector
+from repro.core.metrics import safe_rate
 from repro.core.scheduler import ExecutionScheduler
 from repro.core.testcase import TestCase
 from repro.core.violation import Violation
 from repro.defenses.registry import create_defense, defense_class
 from repro.executor.executor import ExecutionMode, SimulatorExecutor
 from repro.executor.startup import CONTRACT_TRACES, OTHERS, TEST_GENERATION
+from repro.feedback.corpus import Corpus, CorpusEntry
+from repro.feedback.coverage import CoverageTracker
+from repro.feedback.mutate import ProgramMutator
+from repro.feedback.strategy import FeedbackProgramSource, GenerationStrategy
 from repro.generator.config import GeneratorConfig
-from repro.generator.inputs import InputGenerator
+from repro.generator.inputs import Input, InputGenerator
 from repro.generator.program_generator import ProgramGenerator
 from repro.generator.sandbox import Sandbox
 from repro.model.contracts import get_contract
@@ -49,6 +54,10 @@ class RoundResult:
     test_cases_executed: int = 0
     #: Entries skipped by the execution scheduler, per filter reason.
     skipped: Dict[str, int] = field(default_factory=dict)
+    #: Coverage-map bits this round set for the first time (behavior novelty).
+    new_coverage: int = 0
+    #: Was the round's program mutated from a corpus entry (vs freshly generated)?
+    mutated: bool = False
 
 
 @dataclass
@@ -65,6 +74,19 @@ class FuzzerReport:
     test_cases_generated: int = 0
     #: Skipped test cases per filter reason ("singleton", "speculation").
     skip_counters: Dict[str, int] = field(default_factory=dict)
+    #: Generation strategy the instance ran ("random", "mutational", "hybrid").
+    strategy: str = GenerationStrategy.RANDOM.value
+    #: Coverage-novelty counters (features observed / new, rounds with new
+    #: coverage, bits set), reported alongside ``skip_counters``.
+    coverage_counters: Dict[str, int] = field(default_factory=dict)
+    #: Final per-instance coverage bitmap (campaigns OR these together).
+    coverage_bitmap: Optional[bytes] = None
+    #: The instance's full corpus at the end of its run (seed entries plus
+    #: discoveries); campaigns merge these content-addressed sets.
+    corpus_entries: List[CorpusEntry] = field(default_factory=list)
+    #: Rounds generated fresh vs mutated from the corpus.
+    programs_random: int = 0
+    programs_mutated: int = 0
     violations: List[Violation] = field(default_factory=list)
     wall_clock_seconds: float = 0.0
     modeled_seconds: float = 0.0
@@ -85,10 +107,12 @@ class FuzzerReport:
         return sum(self.skip_counters.values())
 
     def throughput(self) -> float:
-        """Simulated (executed) test cases per wall-clock second."""
-        if self.wall_clock_seconds <= 0:
-            return 0.0
-        return self.test_cases_executed / self.wall_clock_seconds
+        """Simulated (executed) test cases per wall-clock second.
+
+        Zero / near-zero elapsed time (tiny smoke campaigns, cancelled
+        instances) reports 0.0 instead of an infinite rate.
+        """
+        return safe_rate(self.test_cases_executed, self.wall_clock_seconds)
 
     def effective_throughput(self) -> float:
         """Generated (covered) test cases per wall-clock second.
@@ -97,15 +121,11 @@ class FuzzerReport:
         test cases are covered — proven unable to witness a violation —
         without paying for their simulation.
         """
-        if self.wall_clock_seconds <= 0:
-            return 0.0
-        return self.test_cases_generated / self.wall_clock_seconds
+        return safe_rate(self.test_cases_generated, self.wall_clock_seconds)
 
     def modeled_throughput(self) -> float:
         """Test cases per modeled (gem5-equivalent) second."""
-        if self.modeled_seconds <= 0:
-            return 0.0
-        return self.test_cases_executed / self.modeled_seconds
+        return safe_rate(self.test_cases_executed, self.modeled_seconds)
 
 
 class AmuletFuzzer:
@@ -127,6 +147,26 @@ class AmuletFuzzer:
         generator_config.sandbox = self.sandbox
         self.program_generator = ProgramGenerator(generator_config, seed=config.seed)
         self.input_generator = InputGenerator(self.sandbox, seed=config.seed)
+
+        # Feedback subsystem: coverage map, per-instance corpus, and the
+        # strategy that picks each round's program.  The corpus is seeded from
+        # the persistent file (when configured) and optionally from the
+        # litmus gadgets relevant to this defense; all instances of a
+        # campaign start from the same seed corpus and never exchange entries
+        # mid-run, which keeps results backend-independent.
+        self.coverage = CoverageTracker()
+        corpus = Corpus.load_if_exists(config.corpus_path)
+        if config.corpus_litmus:
+            corpus.seed_from_litmus(defense=config.defense, sandbox=self.sandbox)
+        self.corpus = corpus
+        self.program_source = FeedbackProgramSource(
+            config.strategy,
+            self.program_generator,
+            corpus=corpus,
+            mutator=ProgramMutator(generator_config),
+            seed=config.seed,
+            hybrid_mutation_probability=config.hybrid_mutation_probability,
+        )
 
         self.executor = SimulatorExecutor(
             defense_factory=lambda: create_defense(config.defense, patched=config.patched),
@@ -152,13 +192,14 @@ class AmuletFuzzer:
         config = self.config
 
         generation_started = time.perf_counter()
-        program = self.program_generator.generate()
+        round_program = self.program_source.next_program()
+        program = round_program.program
         self.executor.time.charge_test_generation()
         self.executor.time.add_wall_clock(
             TEST_GENERATION, time.perf_counter() - generation_started
         )
 
-        test_case = self._build_test_case(program)
+        test_case = self._build_test_case(program, round_program.seed_inputs)
         # Partition into contract-equivalence classes up front and simulate
         # only the entries that could witness a Definition 2.1 violation.  A
         # fully skipped round never starts a simulator (in Opt mode that is
@@ -186,6 +227,21 @@ class AmuletFuzzer:
                 violation.signature = compute_signature(violation)
             confirmed.append(violation)
 
+        # Coverage feedback: hash the round's behavior features into the map
+        # and feed novelty (and any violation witness) back into the corpus,
+        # whatever the generation strategy — a random campaign still grows a
+        # corpus that later mutational campaigns can load.
+        round_coverage = self.coverage.observe_round(test_case, plan)
+        witness: Optional[Tuple[Input, Input]] = None
+        if confirmed:
+            witness = (confirmed[0].input_a, confirmed[0].input_b)
+        self.program_source.record_feedback(
+            round_program,
+            new_features=round_coverage.new_features,
+            violation=bool(confirmed),
+            input_pair=witness,
+        )
+
         self.report.programs_tested += 1
         self.report.test_cases_generated += len(test_case)
         self.report.test_cases_executed += plan.executed
@@ -204,6 +260,8 @@ class AmuletFuzzer:
             violations=confirmed,
             test_cases_executed=plan.executed,
             skipped=skip_counts,
+            new_coverage=round_coverage.new_features,
+            mutated=round_program.mutated,
         )
 
     # -- full instance ----------------------------------------------------------------
@@ -251,14 +309,30 @@ class AmuletFuzzer:
         return self.report
 
     # -- internals ----------------------------------------------------------------------
-    def _build_test_case(self, program) -> TestCase:
-        """Collect contract traces and boosted inputs for one program."""
+    def _build_test_case(
+        self, program, seed_inputs: Sequence[Input] = ()
+    ) -> TestCase:
+        """Collect contract traces and boosted inputs for one program.
+
+        ``seed_inputs`` (mutated witness pairs from corpus entries) occupy
+        the first base-input slots; the remainder are generated as usual and
+        every base input — seeded or fresh — is boosted identically.  Seed
+        inputs sized for a different sandbox are ignored.
+        """
         config = self.config
         emulator = Emulator(program, self.sandbox)
         test_case = TestCase(program=program)
         contract_started = time.perf_counter()
+        usable_seeds = [
+            seed_input
+            for seed_input in seed_inputs
+            if len(seed_input.memory) == self.sandbox.size
+        ]
         for base_index in range(config.base_inputs_per_program):
-            base_input = self.input_generator.generate_one()
+            if base_index < len(usable_seeds):
+                base_input = usable_seeds[base_index]
+            else:
+                base_input = self.input_generator.generate_one()
             model_result = emulator.run(base_input, self.contract)
             base_entry = test_case.add(
                 base_input, model_result.trace, speculation=model_result.speculation
@@ -333,3 +407,16 @@ class AmuletFuzzer:
         self.report.modeled_seconds = self.executor.time.total_modeled()
         self.report.modeled_breakdown = dict(self.executor.time.modeled_seconds)
         self.report.wall_clock_breakdown = dict(self.executor.time.wall_clock_seconds)
+        self._refresh_report_feedback()
+
+    def _refresh_report_feedback(self) -> None:
+        """Mirror the live feedback state into the (picklable) report."""
+        self.report.strategy = GenerationStrategy(self.config.strategy).value
+        self.report.coverage_counters = {
+            **self.coverage.counters(),
+            "bits_set": self.coverage.bits_set(),
+        }
+        self.report.coverage_bitmap = bytes(self.coverage.bitmap)
+        self.report.corpus_entries = self.corpus.entries()
+        self.report.programs_random = self.program_source.generated_random
+        self.report.programs_mutated = self.program_source.generated_mutated

@@ -1,0 +1,17 @@
+"""Shared metric helpers for reports, campaigns and benchmarks."""
+
+from __future__ import annotations
+
+#: Smallest elapsed time a rate is computed over.  Tiny smoke campaigns (and
+#: cancelled instances that never ran a round) can report elapsed times at or
+#: below the timer's resolution; dividing by them turns summary tables and
+#: JSON artifacts into ``inf``/``ZeroDivisionError`` noise.  Below this floor
+#: a rate is reported as 0.0 ("too fast to measure") instead.
+MIN_RATE_SECONDS = 1e-9
+
+
+def safe_rate(count: float, seconds: float) -> float:
+    """``count / seconds`` guarded against zero / near-zero elapsed time."""
+    if seconds is None or seconds < MIN_RATE_SECONDS:
+        return 0.0
+    return count / seconds

@@ -164,8 +164,12 @@ def violation_reproduces(
     )
 
 
-def _differing_locations(input_a: Input, input_b: Input) -> List[Tuple[str, object]]:
-    """Input locations (registers / granules) where the two witnesses differ."""
+def differing_locations(input_a: Input, input_b: Input) -> List[Tuple[str, object]]:
+    """Input locations (registers / granules) where the two witnesses differ.
+
+    Public: the feedback subsystem's input-pair mutation operator
+    (:mod:`repro.feedback.mutate`) walks the same location space.
+    """
     locations: List[Tuple[str, object]] = []
     registers_a = input_a.register_dict()
     for name, value_b in input_b.registers:
@@ -181,7 +185,7 @@ def _differing_locations(input_a: Input, input_b: Input) -> List[Tuple[str, obje
     return locations
 
 
-def _copy_location(input_a: Input, input_b: Input, location: Tuple[str, object]) -> Input:
+def copy_location(input_a: Input, input_b: Input, location: Tuple[str, object]) -> Input:
     """Input B with input A's value at ``location``."""
     kind, key = location
     if kind == "reg":
@@ -238,10 +242,10 @@ def minimize_violation(
     # -- input-pair pass: equalise differing locations one at a time ----------
     shrunk = 0
     if shrink_inputs:
-        for location in _differing_locations(input_a, input_b):
+        for location in differing_locations(input_a, input_b):
             if not tracker.charge():
                 break
-            candidate_b = _copy_location(input_a, input_b, location)
+            candidate_b = copy_location(input_a, input_b, location)
             if _reproduces(current, violation, executor, input_a, candidate_b):
                 input_b = candidate_b
                 shrunk += 1
@@ -253,7 +257,7 @@ def minimize_violation(
         original_instruction_count=original_count,
         removed_instructions=original_count - len(current),
         shrunk_locations=shrunk,
-        remaining_locations=len(_differing_locations(input_a, input_b)),
+        remaining_locations=len(differing_locations(input_a, input_b)),
         candidates_tried=tracker.candidates_tried,
         seconds=tracker.seconds,
         budget_exhausted=tracker.exhausted,

@@ -32,6 +32,27 @@ def available_defenses() -> Tuple[str, ...]:
     return tuple(_DEFENSES)
 
 
+def describe_defenses() -> Tuple[Dict[str, str], ...]:
+    """Name, recommended contract/sandbox and a one-line description per target.
+
+    The description is the defense class's docstring headline, so the
+    registry listing (``amulet-repro --list-defenses``) never drifts from
+    the implementation's own documentation.
+    """
+    rows = []
+    for name, cls in _DEFENSES.items():
+        doc = (cls.__doc__ or "").strip().splitlines()
+        rows.append(
+            {
+                "name": name,
+                "contract": cls.recommended_contract,
+                "sandbox_pages": cls.recommended_sandbox_pages,
+                "description": doc[0] if doc else "",
+            }
+        )
+    return tuple(rows)
+
+
 def create_defense(name: str, patched: bool = False, bugs=None) -> Defense:
     """Instantiate a defense by name.
 

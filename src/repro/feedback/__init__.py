@@ -1,0 +1,41 @@
+"""Coverage feedback, persistent corpus and mutation-based generation.
+
+This package closes the loop the random generator leaves open: signals the
+round pipeline already produces (contract-class structure, speculation
+profiles, per-defense micro-architectural events) are hashed into a
+:class:`~repro.feedback.coverage.CoverageTracker` bitmap; programs that
+exhibit new behavior (or witness violations) enter a content-addressed,
+disk-persistent :class:`~repro.feedback.corpus.Corpus`; and the
+:class:`~repro.feedback.strategy.FeedbackProgramSource` mutates
+energy-selected corpus entries via :class:`~repro.feedback.mutate.ProgramMutator`
+instead of always generating from scratch.
+"""
+
+from repro.feedback.corpus import Corpus, CorpusEntry, program_id
+from repro.feedback.coverage import (
+    DEFAULT_MAP_BITS,
+    CoverageTracker,
+    RoundCoverage,
+    round_features,
+)
+from repro.feedback.mutate import ProgramMutator, mutate_input_pair
+from repro.feedback.strategy import (
+    FeedbackProgramSource,
+    GenerationStrategy,
+    RoundProgram,
+)
+
+__all__ = [
+    "Corpus",
+    "CorpusEntry",
+    "program_id",
+    "CoverageTracker",
+    "RoundCoverage",
+    "round_features",
+    "DEFAULT_MAP_BITS",
+    "ProgramMutator",
+    "mutate_input_pair",
+    "FeedbackProgramSource",
+    "GenerationStrategy",
+    "RoundProgram",
+]

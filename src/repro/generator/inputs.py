@@ -13,6 +13,7 @@ enough for relational testing to find violations.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence, Set, Tuple
@@ -58,8 +59,21 @@ class Input:
         return int.from_bytes(self.memory[offset : offset + size], "little")
 
     def fingerprint(self) -> int:
-        """A stable hash usable as a dictionary key in campaign bookkeeping."""
-        return hash((self.registers, self.memory))
+        """A stable 64-bit content hash of the input.
+
+        Computed with BLAKE2b, **not** Python's ``hash()``: the built-in
+        string/bytes hash is salted per interpreter process, and this
+        fingerprint seeds the contract-preserving mutation RNG — a salted
+        value would give every fresh interpreter a different boosted-input
+        stream for the same campaign seed (run-to-run nondeterminism that
+        also breaks cross-process reproducibility of the persistent fuzzing
+        corpus).
+        """
+        digest = hashlib.blake2b(self.memory, digest_size=8)
+        for name, value in self.registers:
+            digest.update(name.encode())
+            digest.update(value.to_bytes(8, "little"))
+        return int.from_bytes(digest.digest(), "little")
 
     def __len__(self) -> int:
         return len(self.memory)

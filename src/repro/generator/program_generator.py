@@ -65,6 +65,15 @@ class ProgramGenerator:
     def generate_many(self, count: int) -> List[Program]:
         return [self.generate() for _ in range(count)]
 
+    def random_instruction_sequence(self, rng: random.Random) -> List[Instruction]:
+        """One weighted instruction template, masking instructions included.
+
+        Public so the mutation engine's *insert* operator draws from exactly
+        the same template distribution (and sandbox masks) as fresh
+        generation, instead of inventing a second instruction pool.
+        """
+        return self._random_instruction(rng)
+
     # -- program construction ---------------------------------------------------
     def _generate_program(self, rng: random.Random, name: str) -> Program:
         config = self.config

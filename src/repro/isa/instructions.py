@@ -7,7 +7,15 @@ from dataclasses import dataclass, field
 from enum import Enum, auto
 from typing import Optional, Tuple
 
-from repro.isa.operands import Immediate, Label, MemoryOperand, Operand, Register
+from repro.isa.operands import (
+    Immediate,
+    Label,
+    MemoryOperand,
+    Operand,
+    Register,
+    operand_from_dict,
+    operand_to_dict,
+)
 
 
 class Opcode(Enum):
@@ -290,6 +298,25 @@ class Instruction:
         if mem.index is not None:
             registers.append(mem.index)
         return tuple(dict.fromkeys(registers))
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Canonical JSON form (pc/uid are rebuild artifacts, not serialised)."""
+        payload: dict = {
+            "opcode": self.opcode.name,
+            "operands": [operand_to_dict(operand) for operand in self.operands],
+        }
+        if self.condition is not None:
+            payload["condition"] = self.condition
+        return payload
+
+    @staticmethod
+    def from_dict(payload: dict) -> "Instruction":
+        return Instruction(
+            Opcode[payload["opcode"]],
+            tuple(operand_from_dict(operand) for operand in payload["operands"]),
+            condition=payload.get("condition"),
+        )
 
     # -- formatting ----------------------------------------------------------
     def mnemonic(self) -> str:

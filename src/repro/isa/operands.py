@@ -80,3 +80,46 @@ class Label:
 
 
 Operand = Register | Immediate | MemoryOperand | Label
+
+
+# -- serialization -------------------------------------------------------------
+# Operands must round-trip through JSON for the persistent fuzzing corpus
+# (:mod:`repro.feedback.corpus`): the dict form is canonical, so two
+# structurally equal operands always serialise to the same payload.
+
+def operand_to_dict(operand: Operand) -> dict:
+    """JSON-friendly representation of one operand."""
+    if isinstance(operand, Register):
+        return {"kind": "reg", "name": operand.name}
+    if isinstance(operand, Immediate):
+        return {"kind": "imm", "value": operand.value}
+    if isinstance(operand, MemoryOperand):
+        return {
+            "kind": "mem",
+            "base": operand.base,
+            "index": operand.index,
+            "displacement": operand.displacement,
+            "size": operand.size,
+        }
+    if isinstance(operand, Label):
+        return {"kind": "label", "name": operand.name}
+    raise TypeError(f"unsupported operand type: {type(operand).__name__}")
+
+
+def operand_from_dict(payload: dict) -> Operand:
+    """Rebuild an operand serialised by :func:`operand_to_dict`."""
+    kind = payload["kind"]
+    if kind == "reg":
+        return Register(payload["name"])
+    if kind == "imm":
+        return Immediate(payload["value"])
+    if kind == "mem":
+        return MemoryOperand(
+            base=payload["base"],
+            index=payload["index"],
+            displacement=payload["displacement"],
+            size=payload["size"],
+        )
+    if kind == "label":
+        return Label(payload["name"])
+    raise ValueError(f"unsupported operand kind: {kind!r}")

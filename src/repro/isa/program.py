@@ -127,6 +127,55 @@ class Program:
     def conditional_branch_count(self) -> int:
         return sum(1 for inst in self.linear_instructions() if inst.is_cond_branch)
 
+    # -- serialization -----------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical JSON form of the program (the corpus on-disk format).
+
+        Addresses (``pc``/``target_pc``) are not serialised: they are
+        reassigned by the constructor, so structurally equal programs always
+        produce byte-identical payloads regardless of how they were built.
+        """
+        return {
+            "name": self.name,
+            "code_base": self.code_base,
+            "blocks": [
+                {
+                    "name": block.name,
+                    "instructions": [
+                        instruction.to_dict() for instruction in block.instructions
+                    ],
+                    "terminator": (
+                        block.terminator.to_dict()
+                        if block.terminator is not None
+                        else None
+                    ),
+                }
+                for block in self.blocks
+            ],
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, object]) -> "Program":
+        """Rebuild a program serialised by :meth:`to_dict` (addresses reassigned)."""
+        blocks = [
+            BasicBlock(
+                block["name"],
+                [
+                    Instruction.from_dict(instruction)
+                    for instruction in block["instructions"]
+                ],
+                (
+                    Instruction.from_dict(block["terminator"])
+                    if block["terminator"] is not None
+                    else None
+                ),
+            )
+            for block in payload["blocks"]
+        ]
+        return Program(
+            blocks, code_base=payload["code_base"], name=payload["name"]
+        )
+
     # -- formatting -------------------------------------------------------------
     def to_asm(self) -> str:
         """Render the program in an assembly-like textual form."""

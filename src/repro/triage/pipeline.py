@@ -43,6 +43,7 @@ from repro.core.minimize import MinimizationBudget, minimize_violation
 from repro.core.violation import Violation
 from repro.executor.executor import SimulatorExecutor
 from repro.executor.traces import UarchTrace
+from repro.feedback.corpus import input_to_dict as _input_to_dict
 from repro.triage.report import TriageCluster, TriagedViolation, TriageReport
 from repro.uarch.config import UarchConfig
 
@@ -182,6 +183,11 @@ def _triage_work(item: TriageWorkItem) -> Tuple[TriagedViolation, Violation]:
         timings["minimize"] = time.perf_counter() - started
         triaged.minimized_instruction_count = len(minimized.program)
         triaged.minimized_program_asm = minimized.program.to_asm()
+        triaged.minimized_program_dict = minimized.program.to_dict()
+        triaged.minimized_inputs = (
+            _input_to_dict(minimized.input_a),
+            _input_to_dict(minimized.input_b),
+        )
         triaged.removed_instructions = minimized.removed_instructions
         triaged.input_locations_shrunk = minimized.shrunk_locations
         triaged.input_locations_remaining = minimized.remaining_locations

@@ -35,6 +35,11 @@ class TriagedViolation:
     original_instruction_count: int = 0
     minimized_instruction_count: Optional[int] = None
     minimized_program_asm: Optional[str] = None
+    #: Serialised minimized witness (program dict + input pair), so the
+    #: feedback corpus can re-seed from triage output
+    #: (:meth:`repro.core.campaign.CampaignResult.merged_corpus`).
+    minimized_program_dict: Optional[Dict[str, object]] = None
+    minimized_inputs: Tuple[Dict[str, object], ...] = ()
     removed_instructions: int = 0
     input_locations_shrunk: int = 0
     input_locations_remaining: int = 0

@@ -1,0 +1,497 @@
+"""Tests for the feedback subsystem: coverage map, corpus, mutation, strategies."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.backends import InlineBackend, ProcessPoolBackend
+from repro.core import AmuletFuzzer, Campaign, FuzzerConfig, FuzzerReport
+from repro.core.campaign import CampaignResult
+from repro.core.metrics import safe_rate
+from repro.feedback import (
+    Corpus,
+    CoverageTracker,
+    FeedbackProgramSource,
+    GenerationStrategy,
+    ProgramMutator,
+    mutate_input_pair,
+    program_id,
+    round_features,
+)
+from repro.feedback.corpus import input_from_dict, input_to_dict
+from repro.feedback.coverage import feature_index
+from repro.generator import GeneratorConfig, InputGenerator, ProgramGenerator, Sandbox
+from repro.isa.instructions import Opcode
+from repro.isa.operands import Immediate, Register
+from repro.isa.program import Program
+
+
+@pytest.fixture
+def generator(sandbox):
+    return ProgramGenerator(GeneratorConfig(sandbox=sandbox), seed=7)
+
+
+# -- serialization -------------------------------------------------------------
+
+
+class TestProgramSerialization:
+    def test_round_trip_preserves_asm(self, generator):
+        for _ in range(10):
+            program = generator.generate()
+            rebuilt = Program.from_dict(program.to_dict())
+            assert rebuilt.to_asm() == program.to_asm()
+            assert rebuilt.name == program.name
+            assert rebuilt.code_base == program.code_base
+
+    def test_round_trip_preserves_json_payload(self, generator):
+        program = generator.generate()
+        payload = program.to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert Program.from_dict(payload).to_dict() == payload
+
+    def test_program_id_ignores_name(self, generator):
+        program = generator.generate()
+        payload = program.to_dict()
+        payload["name"] = "renamed"
+        assert program_id(Program.from_dict(payload)) == program_id(program)
+
+    def test_input_round_trip(self, sandbox):
+        test_input = InputGenerator(sandbox, seed=3).generate_one()
+        rebuilt = input_from_dict(input_to_dict(test_input))
+        assert rebuilt.registers == test_input.registers
+        assert rebuilt.memory == test_input.memory
+
+
+# -- coverage ------------------------------------------------------------------
+
+
+class TestCoverageTracker:
+    def test_feature_index_is_stable(self):
+        feature = ("uarch", 3, 1, 0, 2)
+        assert feature_index(feature, 1 << 16) == feature_index(feature, 1 << 16)
+
+    def test_new_features_counted_once(self):
+        tracker = CoverageTracker()
+        first = tracker.observe_features([("a",), ("b",)])
+        assert first.new_features == 2
+        second = tracker.observe_features([("a",), ("c",)])
+        assert second.new_features == 1
+        assert tracker.bits_set() == 3
+        assert tracker.counters()["rounds_with_new_coverage"] == 2
+
+    def test_merge_is_bitwise_or(self):
+        tracker_a, tracker_b = CoverageTracker(), CoverageTracker()
+        tracker_a.observe_features([("a",)])
+        tracker_b.observe_features([("b",)])
+        tracker_a.merge_bitmap(bytes(tracker_b.bitmap))
+        assert tracker_a.bits_set() == 2
+
+    def test_json_round_trip(self):
+        tracker = CoverageTracker()
+        tracker.observe_features([("a",), ("b",)])
+        rebuilt = CoverageTracker.from_json_dict(tracker.to_json_dict())
+        assert rebuilt.bits_set() == tracker.bits_set()
+        assert rebuilt.counters() == tracker.counters()
+
+    def test_round_features_cover_all_signal_families(self):
+        """A real fuzzing round must emit class, speculation and uarch features."""
+        fuzzer = AmuletFuzzer(
+            FuzzerConfig(defense="baseline", seed=3, inputs_per_program=7)
+        )
+        round_program = fuzzer.program_source.next_program()
+        test_case = fuzzer._build_test_case(round_program.program)
+        plan = fuzzer.scheduler.plan(test_case)
+        fuzzer.executor.load_program(round_program.program)
+        for entry in plan.executable:
+            entry.record = fuzzer.executor.run_input(entry.test_input)
+        kinds = {feature[0] for feature in round_features(test_case, plan)}
+        assert "classes" in kinds
+        assert "spec" in kinds
+        assert "uarch" in kinds
+
+
+# -- corpus --------------------------------------------------------------------
+
+
+class TestCorpus:
+    def test_content_addressed_dedup(self, generator):
+        corpus = Corpus()
+        program = generator.generate()
+        first = corpus.add_program(program, origin="interesting", energy=2.0)
+        second = corpus.add_program(program, origin="violation")
+        assert len(corpus) == 1
+        assert first is second or first.entry_id == second.entry_id
+        # Merge keeps the max energy and the higher-priority origin.
+        assert corpus.get(first.entry_id).origin == "violation"
+        assert corpus.get(first.entry_id).energy == 8.0
+
+    def test_save_load_round_trip(self, tmp_path, generator):
+        corpus = Corpus()
+        for _ in range(5):
+            corpus.add_program(generator.generate())
+        path = str(tmp_path / "corpus.json")
+        corpus.save(path)
+        reloaded = Corpus.load(path)
+        assert set(reloaded.entry_ids()) == set(corpus.entry_ids())
+        for entry in corpus.entries():
+            assert (
+                reloaded.get(entry.entry_id).program().to_asm()
+                == entry.program().to_asm()
+            )
+        # Saving the reload produces byte-identical JSON (canonical order).
+        path_b = str(tmp_path / "corpus_b.json")
+        reloaded.save(path_b)
+        assert open(path).read() == open(path_b).read()
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "not_corpus.json"
+        path.write_text('{"something": "else"}')
+        with pytest.raises(ValueError):
+            Corpus.load(str(path))
+
+    def test_litmus_seeding_filters_by_defense(self, sandbox):
+        corpus = Corpus()
+        corpus.seed_from_litmus(defense="cleanupspec", sandbox=sandbox)
+        assert len(corpus) > 0
+        assert set(corpus.origin_histogram()) == {"litmus"}
+        # Every litmus entry carries its witness input pair.
+        assert all(entry.input_pair() is not None for entry in corpus.entries())
+
+    def test_energy_weighted_selection_is_deterministic(self, generator):
+        corpus = Corpus()
+        for _ in range(6):
+            corpus.add_program(generator.generate())
+        picks_a = [corpus.select(random.Random(seed)).entry_id for seed in range(10)]
+        picks_b = [corpus.select(random.Random(seed)).entry_id for seed in range(10)]
+        assert picks_a == picks_b
+
+    def test_select_empty_corpus_returns_none(self):
+        assert Corpus().select(random.Random(0)) is None
+
+
+# -- mutation ------------------------------------------------------------------
+
+
+class TestMutation:
+    def test_mutants_differ_from_parent(self, generator):
+        mutator = ProgramMutator(generator.config)
+        program = generator.generate()
+        rng = random.Random(0)
+        changed = 0
+        for _ in range(20):
+            mutant, _ = mutator.mutate(program, rng)
+            if mutant.to_asm() != program.to_asm():
+                changed += 1
+        assert changed >= 15
+
+    def test_mutants_terminate_and_stay_sandboxed(self, sandbox):
+        """Mutation must preserve the forward-DAG and sandbox invariants.
+
+        The individual operators *can* break the masked-index invariant
+        (deleting a masking AND, retargeting its destination, splicing an
+        access without its mask); the post-mutation repair pass must restore
+        it.  Checked over many seeds and against the contract trace, which
+        includes speculatively explored accesses under CT-COND.
+        """
+        from repro.model import CT_COND, Emulator
+
+        config = GeneratorConfig(sandbox=sandbox)
+        mutator = ProgramMutator(config)
+        inputs = InputGenerator(sandbox, seed=1).generate(2)
+        for seed in range(4):
+            generator = ProgramGenerator(config, seed=seed)
+            rng = random.Random(seed)
+            program = generator.generate()
+            for index in range(40):
+                donor = generator.generate()
+                program_m, _ = mutator.mutate(program, rng, donor=donor)
+                emulator = Emulator(program_m, sandbox)
+                for test_input in inputs:
+                    result = emulator.run(test_input, CT_COND)
+                    for _, _, address in result.architectural_accesses:
+                        assert sandbox.contains(address), program_m.to_asm()
+                    for address in result.trace.memory_addresses():
+                        assert sandbox.contains(address), program_m.to_asm()
+                if index % 3 == 0:
+                    program = program_m  # walk the mutation space, not depth 1
+
+    def test_mutants_of_foreign_sandbox_entries_are_confined(self):
+        """Corpus entries recorded under a larger sandbox must be re-masked.
+
+        A program generated for a 4-page sandbox carries AND masks four
+        pages wide; mutating it for a 1-page campaign must confine every
+        access to the 1-page sandbox (the repair pass inserts fresh masks —
+        foreign masks do not count as confining).
+        """
+        from repro.model import CT_COND, Emulator
+
+        small = Sandbox(pages=1)
+        large = Sandbox(pages=4)
+        foreign = ProgramGenerator(GeneratorConfig(sandbox=large), seed=3).generate()
+        mutator = ProgramMutator(GeneratorConfig(sandbox=small))
+        inputs = InputGenerator(small, seed=1).generate(2)
+        rng = random.Random(7)
+        for _ in range(20):
+            mutant, _ = mutator.mutate(foreign, rng)
+            emulator = Emulator(mutant, small)
+            for test_input in inputs:
+                result = emulator.run(test_input, CT_COND)
+                for _, _, address in result.architectural_accesses:
+                    assert small.contains(address), mutant.to_asm()
+                for address in result.trace.memory_addresses():
+                    assert small.contains(address), mutant.to_asm()
+
+    def test_mask_widen_toggles_sandbox_mask(self, sandbox):
+        from repro.isa.instructions import Instruction
+        from repro.isa.program import BasicBlock
+
+        config = GeneratorConfig(sandbox=sandbox)
+        blocks = [
+            BasicBlock(
+                "bb0",
+                [Instruction(Opcode.AND, (Register("rax"), Immediate(sandbox.aligned_mask)))],
+            )
+        ]
+        program = Program(blocks, name="masked")
+        mutator = ProgramMutator(config, operator_weights={"mask_widen": 1.0})
+        mutant, record = mutator.mutate(program, random.Random(1))
+        assert "mask_widen" in record.operators
+        masking = mutant.blocks[0].instructions[0]
+        assert masking.operands[1].value == sandbox.mask
+
+    def test_input_pair_mutation_round_trips_locations(self, sandbox):
+        input_generator = InputGenerator(sandbox, seed=9)
+        input_a = input_generator.generate_one()
+        input_b = input_generator.generate_one()
+        rng = random.Random(4)
+        for _ in range(10):
+            mutated_a, mutated_b = mutate_input_pair(input_a, input_b, rng)
+            assert len(mutated_a.memory) == sandbox.size
+            assert len(mutated_b.memory) == sandbox.size
+
+    def test_input_pair_mutation_never_equalizes_the_pair(self, sandbox):
+        """A mutated witness pair must keep differing somewhere.
+
+        An identical pair can never witness a violation; in particular a
+        triage-minimized pair (single differing location — the secret) must
+        survive both the narrow and the shift move.
+        """
+        from repro.core.minimize import differing_locations
+        from repro.generator.inputs import Input
+
+        base = InputGenerator(sandbox, seed=2).generate_one()
+        registers = base.register_dict()
+        registers["rax"] ^= 1
+        single_difference = Input.create(registers, base.memory, seed=base.seed)
+        for seed in range(50):
+            pair = mutate_input_pair(base, single_difference, random.Random(seed))
+            assert differing_locations(*pair), f"pair equalized at seed {seed}"
+
+
+# -- strategies ----------------------------------------------------------------
+
+
+class TestStrategies:
+    def test_random_strategy_never_mutates(self, generator):
+        corpus = Corpus()
+        corpus.add_program(generator.generate())
+        source = FeedbackProgramSource("random", generator, corpus=corpus, seed=3)
+        for _ in range(5):
+            assert not source.next_program().mutated
+        assert source.generated_mutated == 0
+
+    def test_mutational_strategy_mutates_once_corpus_exists(self, generator):
+        corpus = Corpus()
+        corpus.add_program(generator.generate())
+        source = FeedbackProgramSource("mutational", generator, corpus=corpus, seed=3)
+        results = [source.next_program() for _ in range(5)]
+        assert all(result.mutated for result in results)
+
+    def test_hybrid_strategy_mixes_deterministically(self, generator):
+        def run():
+            corpus = Corpus()
+            corpus.seed_from_litmus(defense="baseline", sandbox=generator.config.sandbox)
+            source = FeedbackProgramSource("hybrid", generator_copy(), corpus=corpus, seed=5)
+            return [
+                (result.mutated, result.program.to_asm())
+                for result in (source.next_program() for _ in range(8))
+            ]
+
+        def generator_copy():
+            return ProgramGenerator(GeneratorConfig(sandbox=generator.config.sandbox), seed=7)
+
+        first, second = run(), run()
+        assert first == second
+        assert any(mutated for mutated, _ in first)
+        assert any(not mutated for mutated, _ in first)
+
+    def test_feedback_rewards_parent_and_records_violations(self, generator):
+        corpus = Corpus()
+        parent = corpus.add_program(generator.generate(), energy=2.0)
+        source = FeedbackProgramSource("mutational", generator, corpus=corpus, seed=3)
+        round_program = source.next_program()
+        assert round_program.parent is not None
+        energy_before = corpus.get(parent.entry_id).energy
+        input_generator = InputGenerator(generator.config.sandbox, seed=1)
+        witness = (input_generator.generate_one(), input_generator.generate_one())
+        entry = source.record_feedback(
+            round_program, new_features=0, violation=True, input_pair=witness
+        )
+        assert entry is not None and entry.origin == "violation"
+        assert entry.input_pair() is not None
+        assert corpus.get(parent.entry_id).energy > energy_before
+
+
+# -- fuzzer / campaign integration --------------------------------------------
+
+
+class TestFeedbackIntegration:
+    def _config(self, **overrides):
+        defaults = dict(
+            defense="baseline",
+            programs_per_instance=3,
+            inputs_per_program=7,
+            seed=3,
+            strategy="hybrid",
+            corpus_litmus=True,
+        )
+        defaults.update(overrides)
+        return FuzzerConfig(**defaults)
+
+    def test_report_carries_feedback_state(self):
+        report = AmuletFuzzer(self._config()).run()
+        assert report.strategy == "hybrid"
+        assert report.coverage_counters["rounds_observed"] == 3
+        assert report.coverage_counters["bits_set"] > 0
+        assert report.coverage_bitmap is not None
+        assert report.corpus_entries
+        assert report.programs_random + report.programs_mutated == 3
+
+    def test_round_result_reports_novelty(self):
+        fuzzer = AmuletFuzzer(self._config())
+        first = fuzzer.run_round(0)
+        assert first.new_coverage > 0
+
+    def test_campaign_persists_and_compounds_corpus(self, tmp_path):
+        path = str(tmp_path / "corpus.json")
+        config = self._config(corpus_path=path)
+        first = Campaign(config, instances=1).run()
+        saved_ids = set(Corpus.load(path).entry_ids())
+        assert saved_ids == set(first.merged_corpus().entry_ids())
+        # A second campaign reloads the corpus: previously saved entry IDs
+        # must survive identically, and the file only ever grows.
+        second = Campaign(self._config(corpus_path=path, seed=4), instances=1).run()
+        reloaded_ids = set(Corpus.load(path).entry_ids())
+        assert saved_ids <= reloaded_ids
+        assert set(second.merged_corpus().entry_ids()) <= reloaded_ids
+
+    def test_inline_and_process_backends_agree(self):
+        config = self._config(programs_per_instance=2)
+        inline = Campaign(config, instances=2, backend=InlineBackend()).run()
+        pooled = Campaign(
+            config, instances=2, backend=ProcessPoolBackend(workers=2)
+        ).run()
+        assert sorted(inline.merged_corpus().entry_ids()) == sorted(
+            pooled.merged_corpus().entry_ids()
+        )
+        assert inline.coverage_counters() == pooled.coverage_counters()
+        assert (
+            inline.merged_coverage().bits_set() == pooled.merged_coverage().bits_set()
+        )
+        inline_energy = {
+            entry.entry_id: round(entry.energy, 4)
+            for entry in inline.merged_corpus().entries()
+        }
+        pooled_energy = {
+            entry.entry_id: round(entry.energy, 4)
+            for entry in pooled.merged_corpus().entries()
+        }
+        assert inline_energy == pooled_energy
+
+    def test_feedback_summary_in_campaign_json(self):
+        result = Campaign(self._config(), instances=1).run()
+        payload = result.to_json_dict()
+        assert payload["feedback"]["strategy"] == "hybrid"
+        assert payload["feedback"]["coverage"]["bits_set"] > 0
+        assert payload["feedback"]["corpus"]["entries"] > 0
+        json.dumps(payload["feedback"])  # must be JSON-serializable
+
+    def test_seed_inputs_ignored_on_sandbox_mismatch(self):
+        """Corpus entries from a differently sized sandbox must not crash."""
+        fuzzer = AmuletFuzzer(self._config(strategy="random"))
+        other_sandbox = Sandbox(pages=2)
+        foreign_input = InputGenerator(other_sandbox, seed=1).generate_one()
+        program = fuzzer.program_generator.generate()
+        test_case = fuzzer._build_test_case(program, [foreign_input])
+        assert all(
+            len(entry.test_input.memory) == fuzzer.sandbox.size
+            for entry in test_case.entries
+        )
+
+
+# -- throughput guards (near-zero elapsed time) --------------------------------
+
+
+class TestThroughputGuards:
+    def test_safe_rate(self):
+        assert safe_rate(100, 0.0) == 0.0
+        assert safe_rate(100, 1e-12) == 0.0
+        assert safe_rate(100, 2.0) == 50.0
+
+    def test_fuzzer_report_rates_guarded(self):
+        report = FuzzerReport(defense="baseline", contract="CT-SEQ")
+        report.test_cases_executed = 10
+        report.test_cases_generated = 10
+        for elapsed in (0.0, 1e-12):
+            report.wall_clock_seconds = elapsed
+            report.modeled_seconds = elapsed
+            assert report.throughput() == 0.0
+            assert report.effective_throughput() == 0.0
+            assert report.modeled_throughput() == 0.0
+
+    def test_campaign_result_rates_guarded(self):
+        report = FuzzerReport(defense="baseline", contract="CT-SEQ")
+        report.test_cases_executed = 10
+        report.test_cases_generated = 10
+        result = CampaignResult(
+            defense="baseline", contract="CT-SEQ", instances=1, reports=[report]
+        )
+        result.wall_clock_seconds = 0.0
+        assert result.throughput() == 0.0
+        assert result.effective_throughput() == 0.0
+        assert result.modeled_throughput() == 0.0
+        # The JSON summary must stay finite too.
+        payload = result.to_json_dict()
+        assert payload["throughput_per_second"] == 0.0
+        assert payload["effective_throughput_per_second"] == 0.0
+
+
+# -- CLI listing flags ---------------------------------------------------------
+
+
+class TestRegistryListing:
+    def test_list_defenses(self, capsys):
+        from repro.cli import main
+
+        assert main(["--list-defenses"]) == 0
+        output = capsys.readouterr().out
+        for name in ("baseline", "invisispec", "cleanupspec", "stt", "speclfb"):
+            assert name in output
+        assert "contract=" in output
+
+    def test_list_contracts(self, capsys):
+        from repro.cli import main
+
+        assert main(["--list-contracts"]) == 0
+        output = capsys.readouterr().out
+        for name in ("CT-SEQ", "CT-COND", "ARCH-SEQ", "ARCH-COND"):
+            assert name in output
+
+    def test_list_flags_do_not_run_a_campaign(self, capsys):
+        from repro.cli import main
+
+        assert main(["--list-defenses", "--programs", "100000"]) == 0
+        assert "campaign summary" not in capsys.readouterr().out

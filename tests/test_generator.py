@@ -110,6 +110,88 @@ class TestProgramGenerator:
                 assert sandbox.contains(address, 1)
 
 
+class TestGeneratorDeterminism:
+    """Same seed => byte-identical program streams, whatever runs around them."""
+
+    def test_generate_many_streams_byte_identical(self, sandbox):
+        config = GeneratorConfig(sandbox=sandbox)
+        stream_a = ProgramGenerator(config, seed=11).generate_many(8)
+        stream_b = ProgramGenerator(GeneratorConfig(sandbox=sandbox), seed=11).generate_many(8)
+        assert [p.to_asm() for p in stream_a] == [p.to_asm() for p in stream_b]
+
+    def test_streams_identical_across_interpreter_modes(self):
+        """The program stream must not depend on the executor mode."""
+        from repro.core import AmuletFuzzer, FuzzerConfig
+        from repro.executor.executor import ExecutionMode
+
+        streams = []
+        for mode in (ExecutionMode.NAIVE, ExecutionMode.OPT):
+            fuzzer = AmuletFuzzer(FuzzerConfig(defense="baseline", seed=21, mode=mode))
+            streams.append(
+                [
+                    fuzzer.program_source.next_program().program.to_asm()
+                    for _ in range(6)
+                ]
+            )
+        assert streams[0] == streams[1]
+
+    def test_streams_identical_across_backends(self):
+        """Inline and process backends must test byte-identical programs.
+
+        Programs are not streamed back from workers, so the comparison goes
+        through the content-addressed corpus: with a mutational strategy over
+        a litmus-seeded corpus, every tested program that produces new
+        coverage lands in the merged corpus under its content ID.
+        """
+        from repro.backends import InlineBackend, ProcessPoolBackend
+        from repro.core import Campaign, FuzzerConfig
+
+        def merged(backend):
+            config = FuzzerConfig(
+                defense="baseline",
+                programs_per_instance=3,
+                inputs_per_program=7,
+                seed=9,
+                strategy="hybrid",
+                corpus_litmus=True,
+            )
+            return Campaign(config, instances=2, backend=backend).run().merged_corpus()
+
+        inline_corpus = merged(InlineBackend())
+        process_corpus = merged(ProcessPoolBackend(workers=2))
+        assert sorted(inline_corpus.entry_ids()) == sorted(process_corpus.entry_ids())
+
+    def test_mutation_operators_deterministic(self, sandbox):
+        """Same (program, seed) => the same mutant, byte for byte."""
+        import random
+
+        from repro.feedback import ProgramMutator
+
+        config = GeneratorConfig(sandbox=sandbox)
+        program = ProgramGenerator(config, seed=5).generate()
+        donor = ProgramGenerator(config, seed=6).generate()
+        for seed in range(10):
+            mutant_a, record_a = ProgramMutator(config).mutate(
+                program, random.Random(seed), donor=donor
+            )
+            mutant_b, record_b = ProgramMutator(config).mutate(
+                program, random.Random(seed), donor=donor
+            )
+            assert mutant_a.to_asm() == mutant_b.to_asm()
+            assert record_a.operators == record_b.operators
+
+    def test_mutation_does_not_change_the_original(self, sandbox):
+        import random
+
+        from repro.feedback import ProgramMutator
+
+        config = GeneratorConfig(sandbox=sandbox)
+        program = ProgramGenerator(config, seed=5).generate()
+        before = program.to_asm()
+        ProgramMutator(config).mutate(program, random.Random(3))
+        assert program.to_asm() == before
+
+
 class TestInputs:
     def test_input_is_hashable_and_stable(self, input_generator):
         test_input = input_generator.generate_one()
