@@ -56,6 +56,7 @@ from repro.generator.config import GeneratorConfig
 from repro.generator.inputs import InputGenerator
 from repro.generator.program_generator import ProgramGenerator
 from repro.generator.sandbox import Sandbox
+from repro.isa import specialized
 from repro.model.contracts import get_contract
 from repro.model.emulator import Emulator
 
@@ -64,10 +65,12 @@ BASELINE_PATH = os.path.join(HERE, "throughput_baseline.json")
 FLOOR_PATH = os.path.join(HERE, "throughput_floor.json")
 
 
-def artifact_path(filter_level: "FilterLevel") -> str:
-    """Filtered runs get their own artifact so they never overwrite the
-    unfiltered measurement CI uploads for the perf trajectory."""
+def artifact_path(filter_level: "FilterLevel", specialize: bool = True) -> str:
+    """Filtered / interpreted runs get their own artifact so they never
+    overwrite the unfiltered measurement CI uploads for the perf trajectory."""
     suffix = "" if filter_level is FilterLevel.NONE else f"_{filter_level.value}"
+    if not specialize:
+        suffix += "_nospec"
     return os.path.join(HERE, "artifacts", f"BENCH_throughput{suffix}.json")
 
 SEED = 7
@@ -108,6 +111,7 @@ def measure_end_to_end(
     inputs: int,
     filter_level: FilterLevel = FilterLevel.NONE,
     boost_factor: Optional[int] = None,
+    specialize: bool = True,
 ) -> Dict[str, object]:
     """One inline-backend campaign; returns test-cases/sec and a time split."""
     config = FuzzerConfig(
@@ -116,6 +120,7 @@ def measure_end_to_end(
         inputs_per_program=inputs,
         seed=SEED,
         filter=filter_level,
+        specialize=specialize,
     )
     if boost_factor is not None:
         config.boost_factor = boost_factor
@@ -141,14 +146,22 @@ def measure_end_to_end(
     return row
 
 
-def measure_emulator_only(programs: int, inputs: int) -> Dict[str, object]:
-    """Contract-trace throughput under CT-COND (speculation + taint)."""
+def measure_emulator_only(
+    programs: int, inputs: int, specialize: bool = True
+) -> Dict[str, object]:
+    """Contract-trace throughput under CT-COND (speculation + taint).
+
+    The first input of each program pays that program's compile when its
+    artifact is not already cached from the end-to-end scenarios (same
+    seeded program stream), so the row includes cache warmup effects just
+    like a campaign's first round does.
+    """
     sandbox, program_list, test_inputs = _fixed_workload(programs, inputs)
     contract = get_contract("CT-COND")
     runs = 0
     started = time.perf_counter()
     for program in program_list:
-        emulator = Emulator(program, sandbox)
+        emulator = Emulator(program, sandbox, specialize=specialize)
         for test_input in test_inputs:
             emulator.run(test_input, contract)
             runs += 1
@@ -160,7 +173,9 @@ def measure_emulator_only(programs: int, inputs: int) -> Dict[str, object]:
     }
 
 
-def measure_core_only(programs: int, inputs: int) -> Dict[str, object]:
+def measure_core_only(
+    programs: int, inputs: int, specialize: bool = True
+) -> Dict[str, object]:
     """O3 simulation throughput (baseline defense, OPT lifecycle)."""
     sandbox, program_list, test_inputs = _fixed_workload(programs, inputs)
     runs = 0
@@ -168,7 +183,10 @@ def measure_core_only(programs: int, inputs: int) -> Dict[str, object]:
     started = time.perf_counter()
     for program in program_list:
         executor = SimulatorExecutor(
-            defense_factory="baseline", sandbox=sandbox, mode=ExecutionMode.OPT
+            defense_factory="baseline",
+            sandbox=sandbox,
+            mode=ExecutionMode.OPT,
+            specialize=specialize,
         )
         executor.load_program(program)
         for test_input in test_inputs:
@@ -182,6 +200,62 @@ def measure_core_only(programs: int, inputs: int) -> Dict[str, object]:
         "seconds": round(elapsed, 3),
         "simulations_per_second": round(runs / elapsed, 2),
         "instructions_per_second": round(instructions / elapsed, 1),
+    }
+
+
+def measure_specialization(programs: int, inputs: int) -> Dict[str, object]:
+    """Compile cost and cache behavior of the specialization layer.
+
+    Measures, on a fresh compile cache: the cold cost of compiling each
+    program's runner (the first emulator run pays it), the cache hit rate
+    once every artifact exists, and a specialized-vs-interpreted A/B of the
+    same emulator workload.  Runs *last* in the suite because it clears the
+    process-wide cache the other scenarios share.
+    """
+    sandbox, program_list, test_inputs = _fixed_workload(programs, inputs)
+    contract = get_contract("CT-COND")
+
+    specialized.clear_cache()
+    before = specialized.stats_snapshot()
+    started = time.perf_counter()
+    for program in program_list:
+        Emulator(program, sandbox, specialize=True).run(test_inputs[0], contract)
+    cold_elapsed = time.perf_counter() - started
+    after_cold = specialized.stats_snapshot()
+
+    started = time.perf_counter()
+    for program in program_list:
+        emulator = Emulator(program, sandbox, specialize=True)
+        for test_input in test_inputs:
+            emulator.run(test_input, contract)
+    warm_elapsed = time.perf_counter() - started
+    after_warm = specialized.stats_snapshot()
+
+    started = time.perf_counter()
+    for program in program_list:
+        emulator = Emulator(program, sandbox, specialize=False)
+        for test_input in test_inputs:
+            emulator.run(test_input, contract)
+    interpreted_elapsed = time.perf_counter() - started
+
+    compile_seconds = after_cold["compile_seconds"] - before["compile_seconds"]
+    warm_lookups = (after_warm["hits"] + after_warm["misses"]) - (
+        after_cold["hits"] + after_cold["misses"]
+    )
+    warm_hits = after_warm["hits"] - after_cold["hits"]
+    runs = len(program_list) * len(test_inputs)
+    return {
+        "programs": len(program_list),
+        "compile_seconds": round(compile_seconds, 6),
+        "compile_ms_per_program": round(1e3 * compile_seconds / len(program_list), 3),
+        "cold_misses": int(after_cold["misses"] - before["misses"]),
+        "warm_cache_hits": int(warm_hits),
+        "warm_hit_rate": round(warm_hits / warm_lookups, 4) if warm_lookups else None,
+        "specialized_traces_per_second": round(runs / warm_elapsed, 2),
+        "interpreted_traces_per_second": round(runs / interpreted_elapsed, 2),
+        "specialized_speedup": (
+            round(interpreted_elapsed / warm_elapsed, 2) if warm_elapsed else None
+        ),
     }
 
 
@@ -226,11 +300,13 @@ def run_suite(
     budget: Dict[str, int],
     defenses=DEFENSES,
     filter_level: FilterLevel = FilterLevel.NONE,
+    specialize: bool = True,
 ) -> Dict[str, object]:
     end_to_end: List[Dict[str, object]] = []
     for defense in defenses:
         row = measure_end_to_end(
-            defense, budget["programs"], budget["inputs"], filter_level
+            defense, budget["programs"], budget["inputs"], filter_level,
+            specialize=specialize,
         )
         end_to_end.append(row)
         print(
@@ -245,6 +321,7 @@ def run_suite(
             budget["wide_inputs"],
             filter_level,
             boost_factor=0,
+            specialize=specialize,
         )
         end_to_end_wide.append(row)
         skipped = sum(row["skipped"].values())
@@ -252,24 +329,42 @@ def run_suite(
             f"  wide       {defense:12s} {row['test_cases_per_second']:>8} tc/s "
             f"({row['test_cases']} test cases, {skipped} skipped, {row['seconds']}s)"
         )
-    emulator_row = measure_emulator_only(budget["micro_programs"], budget["micro_inputs"])
+    emulator_row = measure_emulator_only(
+        budget["micro_programs"], budget["micro_inputs"], specialize=specialize
+    )
     print(f"  emulator-only (CT-COND)   {emulator_row['traces_per_second']:>8} traces/s")
-    core_row = measure_core_only(budget["micro_programs"], budget["micro_inputs"])
+    core_row = measure_core_only(
+        budget["micro_programs"], budget["micro_inputs"], specialize=specialize
+    )
     print(f"  core-only (baseline O3)   {core_row['simulations_per_second']:>8} sims/s")
     hash_row = measure_trace_hashing()
     print(
         f"  trace-hash (cold/cached)  {hash_row['cold_hashes_per_second']:>8} / "
         f"{hash_row['cached_hashes_per_second']} hashes/s"
     )
+    specialization_row = None
+    if specialize:
+        # Last: clears the process-wide compile cache the scenarios above share.
+        specialization_row = measure_specialization(
+            budget["micro_programs"], budget["micro_inputs"]
+        )
+        print(
+            f"  specialization            "
+            f"{specialization_row['compile_ms_per_program']:>8} ms/program compile, "
+            f"hit rate {specialization_row['warm_hit_rate']}, "
+            f"A/B {specialization_row['specialized_speedup']}x"
+        )
     return {
         "budget": dict(budget),
         "seed": SEED,
         "filter": filter_level.value,
+        "specialize": specialize,
         "end_to_end": end_to_end,
         "end_to_end_wide": end_to_end_wide,
         "emulator_only": emulator_row,
         "core_only": core_row,
         "trace_hash": hash_row,
+        "specialization": specialization_row,
     }
 
 
@@ -309,6 +404,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="fail (exit 1) if end-to-end throughput regresses >30%% below the floor",
     )
     parser.add_argument(
+        "--no-specialize",
+        dest="specialize",
+        action="store_false",
+        help="run the generic interpreters instead of per-program compiled "
+        "execution (A/B switch; artifact gets a _nospec suffix)",
+    )
+    parser.add_argument(
         "--require-skips",
         action="store_true",
         help="fail (exit 1) unless the filtered run skipped at least one test case "
@@ -319,11 +421,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     filter_level = FilterLevel(args.filter)
     if args.record_baseline and filter_level is not FilterLevel.NONE:
         parser.error("--record-baseline always uses filter=none (the seed behavior)")
+    if args.record_baseline and not args.specialize:
+        parser.error("--record-baseline measures the shipped (specialized) path")
 
     budget = SMOKE_BUDGET if args.smoke else FULL_BUDGET
     label = "smoke" if args.smoke else "full"
-    print(f"== throughput benchmark ({label} budget, filter={filter_level.value}) ==")
-    suite = run_suite(budget, filter_level=filter_level)
+    mode = "specialized" if args.specialize else "interpreted"
+    print(
+        f"== throughput benchmark ({label} budget, filter={filter_level.value}, "
+        f"{mode}) =="
+    )
+    suite = run_suite(budget, filter_level=filter_level, specialize=args.specialize)
 
     if args.record_baseline:
         with open(BASELINE_PATH, "w") as handle:
@@ -336,6 +444,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "label": "Fuzzing throughput (test cases per second)",
         "budget_label": label,
         "filter": filter_level.value,
+        "specialize": args.specialize,
         "current": suite,
     }
 
@@ -369,7 +478,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         artifact["speedup_vs_pre_pr"] = None
         print("  [warn] baseline budget differs from current budget; no speedups computed")
 
-    destination = artifact_path(filter_level)
+    destination = artifact_path(filter_level, specialize=args.specialize)
     os.makedirs(os.path.dirname(destination), exist_ok=True)
     with open(destination, "w") as handle:
         json.dump(artifact, handle, indent=2)

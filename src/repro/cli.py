@@ -83,6 +83,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--mshrs", type=int, default=None, help="amplification: MSHR count")
     parser.add_argument("--stop-on-violation", action="store_true")
     parser.add_argument(
+        "--no-specialize",
+        dest="specialize",
+        action="store_false",
+        help="disable per-program compiled execution; run the generic "
+        "interpreters everywhere (escape hatch — results are identical)",
+    )
+    parser.add_argument(
         "--backend",
         choices=sorted(available_backends()),
         default=None,
@@ -204,6 +211,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         trace_config=get_trace_config(args.trace),
         uarch_config=uarch_config,
         stop_on_violation=args.stop_on_violation,
+        specialize=args.specialize,
         seed=args.seed,
         backend=select_backend(args),
         workers=args.workers,

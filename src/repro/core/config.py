@@ -49,6 +49,12 @@ class FuzzerConfig:
     #: preserves seed behavior (simulate everything); benchmarks and the CLI
     #: opt in explicitly.  See :mod:`repro.core.scheduler`.
     filter: FilterLevel = FilterLevel.NONE
+    #: Compile each test program into a specialized execution artifact (the
+    #: functional emulator's whole-program runner plus the O3 core's
+    #: per-instruction closures).  ``False`` (the CLI's ``--no-specialize``)
+    #: forces the generic interpreter everywhere; results are identical
+    #: either way, this is the escape hatch / A-B switch.
+    specialize: bool = True
     #: Micro-architectural trace format.
     trace_config: TraceConfig = BASELINE_TRACE
     #: Simulated core configuration (use ``UarchConfig.with_amplification``

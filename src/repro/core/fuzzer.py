@@ -35,6 +35,7 @@ from repro.generator.config import GeneratorConfig
 from repro.generator.inputs import Input, InputGenerator
 from repro.generator.program_generator import ProgramGenerator
 from repro.generator.sandbox import Sandbox
+from repro.isa.specialized import stats_snapshot
 from repro.model.contracts import get_contract
 from repro.model.emulator import Emulator
 
@@ -97,6 +98,11 @@ class FuzzerReport:
     #: show where the time went, not just totals.
     modeled_breakdown: Dict[str, float] = field(default_factory=dict)
     wall_clock_breakdown: Dict[str, float] = field(default_factory=dict)
+    #: Specialization-cache counters accumulated while this instance ran
+    #: (``cache_hits`` / ``cache_misses`` / ``compile_seconds`` /
+    #: ``fallbacks``); all zero when the instance ran with
+    #: ``specialize=False``.
+    specialization: Dict[str, float] = field(default_factory=dict)
 
     @property
     def detected(self) -> bool:
@@ -175,6 +181,7 @@ class AmuletFuzzer:
             trace_config=config.trace_config,
             mode=config.mode,
             prime_strategy=config.prime_strategy,
+            specialize=config.specialize,
         )
         self.detector = ViolationDetector(config.defense, self.contract_name)
         self.scheduler = ExecutionScheduler(config.filter)
@@ -182,6 +189,10 @@ class AmuletFuzzer:
         self._start_time: Optional[float] = None
         self._stopped = False
         self._target_programs: Optional[int] = None
+        # The specialization counters are process-wide; remember where they
+        # stood when this instance started so the report carries only the
+        # instance's own deltas (hits from other inline instances excluded).
+        self._spec_stats_start = stats_snapshot()
         self.report = FuzzerReport(defense=config.defense, contract=self.contract_name)
 
     # -- single round -------------------------------------------------------------
@@ -207,8 +218,11 @@ class AmuletFuzzer:
         plan = self.scheduler.plan(test_case)
         if plan.executable:
             self.executor.load_program(program)
-            for entry in plan.executable:
-                entry.record = self.executor.run_input(entry.test_input)
+            records = self.executor.run_batch(
+                [entry.test_input for entry in plan.executable]
+            )
+            for entry, record in zip(plan.executable, records):
+                entry.record = record
         skip_counts = plan.skip_counts()
         if skip_counts:
             self.executor.record_skips(skip_counts)
@@ -320,7 +334,7 @@ class AmuletFuzzer:
         inputs sized for a different sandbox are ignored.
         """
         config = self.config
-        emulator = Emulator(program, self.sandbox)
+        emulator = Emulator(program, self.sandbox, specialize=config.specialize)
         test_case = TestCase(program=program)
         contract_started = time.perf_counter()
         usable_seeds = [
@@ -343,8 +357,11 @@ class AmuletFuzzer:
                 count=config.boost_factor,
                 salt=base_index,
             )
-            for variant in variants:
-                variant_result = emulator.run(variant, self.contract)
+            # All boosted variants of a base input share the emulator's
+            # compiled runner and sandbox buffer (batched multi-input round).
+            for variant, variant_result in zip(
+                variants, emulator.collect_traces_batch(variants, self.contract)
+            ):
                 test_case.add(
                     variant,
                     variant_result.trace,
@@ -407,6 +424,16 @@ class AmuletFuzzer:
         self.report.modeled_seconds = self.executor.time.total_modeled()
         self.report.modeled_breakdown = dict(self.executor.time.modeled_seconds)
         self.report.wall_clock_breakdown = dict(self.executor.time.wall_clock_seconds)
+        current = stats_snapshot()
+        start = self._spec_stats_start
+        self.report.specialization = {
+            "cache_hits": current["hits"] - start["hits"],
+            "cache_misses": current["misses"] - start["misses"],
+            "compile_seconds": round(
+                current["compile_seconds"] - start["compile_seconds"], 6
+            ),
+            "fallbacks": current["fallbacks"] - start["fallbacks"],
+        }
         self._refresh_report_feedback()
 
     def _refresh_report_feedback(self) -> None:

@@ -48,6 +48,11 @@ class Defense:
     recommended_contract = "CT-SEQ"
     #: Sandbox pages the paper uses when testing this defense.
     recommended_sandbox_pages = 1
+    #: True when the defense consumes the core's safety notifications
+    #: (``entry.safe_notified`` / ``on_entry_safe``) without overriding the
+    #: hook itself; the core skips that whole pipeline stage for defenses
+    #: that neither override the hook nor set this.
+    tracks_safety = False
 
     def __init__(self, bugs: Optional[DefenseBugs] = None) -> None:
         self.bugs = bugs
@@ -120,7 +125,13 @@ class Defense:
         Returns the accumulated latency, or ``None`` if a line still cannot
         proceed.
         """
-        done = entry.defense_data.setdefault(record_key, {})
+        data = entry.defense_data
+        done = data.get(record_key)
+        if done is None:
+            done = data[record_key] = {}
+        results = data.get("access_results")
+        if results is None:
+            results = data["access_results"] = {}
         total_latency = 0
         for line in entry.line_addresses:
             if line in done:
@@ -139,7 +150,7 @@ class Defense:
             if result is None:
                 return None
             done[line] = result.latency
-            entry.defense_data.setdefault("access_results", {})[line] = result
+            results[line] = result
             total_latency = max(total_latency, result.latency)
         return total_latency
 

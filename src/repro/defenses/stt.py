@@ -40,6 +40,10 @@ class STTDefense(Defense):
     name = "stt"
     recommended_contract = "ARCH-SEQ"
     recommended_sandbox_pages = 128
+    # Taint tracking reads entry.safe_notified, so the core must keep
+    # running its safety-notification stage even though this defense does
+    # not override on_entry_safe.
+    tracks_safety = True
 
     def __init__(self, bugs: Optional[STTBugs] = None) -> None:
         super().__init__(bugs if bugs is not None else STTBugs())

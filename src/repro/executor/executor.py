@@ -93,6 +93,7 @@ class SimulatorExecutor:
         mode: ExecutionMode = ExecutionMode.OPT,
         prime_strategy: Optional[PrimeStrategy] = None,
         time_model: Optional[TimeModel] = None,
+        specialize: bool = True,
     ) -> None:
         if isinstance(defense_factory, str):
             defense_name = defense_factory
@@ -103,6 +104,9 @@ class SimulatorExecutor:
         self.sandbox = sandbox or Sandbox()
         self.trace_config = trace_config
         self.mode = ExecutionMode(mode)
+        #: Compile per-program specialized execution artifacts (the default);
+        #: False forces the generic interpreter everywhere (--no-specialize).
+        self.specialize = specialize
         probe_defense = self.defense_factory()
         self.defense_name = probe_defense.name
         if prime_strategy is None:
@@ -134,6 +138,7 @@ class SimulatorExecutor:
             config=self.uarch_config,
             defense=self.defense_factory(),
             sandbox=self.sandbox,
+            specialize=self.specialize,
         )
         self.simulator_starts += 1
         self.time.charge_startup()
@@ -149,10 +154,9 @@ class SimulatorExecutor:
         (the paper resets the cache with real instructions and notes the
         resulting 10x increase in instructions per test).
         """
-        core.memory.reset_caches()
         if self.prime_strategy is PrimeStrategy.FILL:
-            primed_lines = core.memory.prime_l1d(PRIME_REGION_BASE)
-            return primed_lines
+            return core.memory.reset_and_prime(PRIME_REGION_BASE)
+        core.memory.reset_caches()
         return 0
 
     # -- execution -----------------------------------------------------------------
@@ -207,6 +211,16 @@ class SimulatorExecutor:
         self.test_cases_executed += 1
         return ExecutionRecord(trace=trace, result=result, uarch_context=context_before)
 
+    def run_batch(self, inputs: List[Input]) -> List[ExecutionRecord]:
+        """Run a batch of inputs of the loaded program back-to-back.
+
+        In Opt mode every input reuses the one already-constructed core (and
+        its decoded/compiled program), so the per-program setup cost is paid
+        once for the whole batch — this is how the fuzzer routes a contract-
+        equivalence class's executable entries through the simulator.
+        """
+        return [self.run_input(test_input) for test_input in inputs]
+
     def record_skips(self, counts: Dict[str, int]) -> None:
         """Account for test cases the execution scheduler decided not to run."""
         self.test_cases_skipped += sum(counts.values())
@@ -243,10 +257,11 @@ class SimulatorExecutor:
         from repro.core.testcase import TestCase
         from repro.model.emulator import Emulator
 
-        emulator = Emulator(program, self.sandbox)
+        emulator = Emulator(program, self.sandbox, specialize=self.specialize)
         test_case = TestCase(program=program)
-        for test_input in inputs:
-            model_result = emulator.run(test_input, contract)
+        for test_input, model_result in zip(
+            inputs, emulator.collect_traces_batch(inputs, contract)
+        ):
             test_case.add(
                 test_input, model_result.trace, speculation=model_result.speculation
             )
@@ -254,8 +269,9 @@ class SimulatorExecutor:
         if plan.executable:
             # A fully skipped batch never pays the simulator start-up.
             self.load_program(program)
-            for entry in plan.executable:
-                entry.record = self.run_input(entry.test_input)
+            records = self.run_batch([entry.test_input for entry in plan.executable])
+            for entry, record in zip(plan.executable, records):
+                entry.record = record
         self.record_skips(plan.skip_counts())
         return [entry.record for entry in test_case.entries]
 
@@ -278,6 +294,7 @@ class SimulatorExecutor:
             "mode": self.mode.value,
             "trace": self.trace_config.name,
             "prime": self.prime_strategy.value,
+            "specialize": self.specialize,
             "uarch": self.uarch_config.describe(),
             "sandbox_pages": self.sandbox.pages,
         }

@@ -75,8 +75,14 @@ def program_dict_id(payload: Dict[str, object]) -> str:
 
 
 def program_id(program: Program) -> str:
-    """Content-addressed entry ID (stable across processes and campaigns)."""
-    return program_dict_id(program.to_dict())
+    """Content-addressed entry ID (stable across processes and campaigns).
+
+    Identical to ``program_dict_id(program.to_dict())`` but served from the
+    digest cached on the instance, which also keys the specialization cache
+    (:meth:`Program.content_id`) — corpus replays therefore share compiled
+    artifacts with the round that produced them.
+    """
+    return program.content_id()
 
 
 @dataclass
@@ -91,9 +97,15 @@ class CorpusEntry:
     parent_id: Optional[str] = None
     #: Witness input pair for violation-origin entries (serialised).
     inputs: Tuple[Dict[str, object], ...] = ()
+    #: Rebuilt Program, memoised so repeat scheduling of the same entry
+    #: reuses one instance (and with it the decode + specialization caches,
+    #: which key weakly on the instance).
+    _program: Optional[Program] = field(default=None, repr=False, compare=False)
 
     def program(self) -> Program:
-        return Program.from_dict(self.program_dict)
+        if self._program is None:
+            self._program = Program.from_dict(self.program_dict)
+        return self._program
 
     def input_pair(self) -> Optional[Tuple[Input, Input]]:
         if len(self.inputs) < 2:

@@ -172,7 +172,9 @@ class CoverageTracker:
 
     # -- queries --------------------------------------------------------------
     def bits_set(self) -> int:
-        return sum(byte.bit_count() for byte in self.bitmap)
+        # One big-int popcount instead of a per-byte generator pass; this is
+        # queried once per round, on a multi-KiB bitmap.
+        return int.from_bytes(self.bitmap, "little").bit_count()
 
     def coverage_fraction(self) -> float:
         return self.bits_set() / self.size_bits

@@ -29,6 +29,9 @@ TaintLabel = Tuple[str, object]
 #: Granularity at which sandbox memory is tracked and mutated.
 MEMORY_GRANULE = 8
 
+#: Zeroes for bytes 2..7 of a granule overwritten via the two-byte fast path.
+_GRANULE_ZERO_TAIL = bytes(MEMORY_GRANULE - 2)
+
 
 def memory_taint_label(offset: int) -> TaintLabel:
     """Return the taint label of the granule containing sandbox ``offset``."""
@@ -127,11 +130,24 @@ class InputGenerator:
         getrandbits = rng.getrandbits
         bits = self.memory_value_bits
         memory = bytearray(self.sandbox.size)
-        for offset in range(0, self.sandbox.size, MEMORY_GRANULE):
-            word = getrandbits(4) if uniform() < 0.25 else getrandbits(bits)
-            memory[offset : offset + MEMORY_GRANULE] = word.to_bytes(
-                MEMORY_GRANULE, "little"
-            )
+        if bits <= 16:
+            # Fast path for the default value width: a granule word fits in
+            # two bytes and the buffer is already zeroed, so two byte stores
+            # replace the 8-byte ``to_bytes`` round trip.  The RNG stream is
+            # byte-for-byte identical to the generic loop below.
+            for offset in range(0, self.sandbox.size, MEMORY_GRANULE):
+                if uniform() < 0.25:
+                    memory[offset] = getrandbits(4)
+                else:
+                    word = getrandbits(bits)
+                    memory[offset] = word & 0xFF
+                    memory[offset + 1] = word >> 8
+        else:
+            for offset in range(0, self.sandbox.size, MEMORY_GRANULE):
+                word = getrandbits(4) if uniform() < 0.25 else getrandbits(bits)
+                memory[offset : offset + MEMORY_GRANULE] = word.to_bytes(
+                    MEMORY_GRANULE, "little"
+                )
         return Input.create(registers, bytes(memory), seed=self._counter)
 
     def generate(self, count: int) -> List[Input]:
@@ -169,12 +185,27 @@ class InputGenerator:
             uniform = rng.random
             getrandbits = rng.getrandbits
             memory = bytearray(base.memory)
-            for offset in range(0, self.sandbox.size, MEMORY_GRANULE):
-                if offset not in preserved_offsets:
-                    word = getrandbits(4) if uniform() < 0.25 else getrandbits(bits)
-                    memory[offset : offset + MEMORY_GRANULE] = word.to_bytes(
-                        MEMORY_GRANULE, "little"
-                    )
+            if bits <= 16:
+                # Same RNG stream and bytes as the generic loop; the granule
+                # tail must be cleared explicitly because ``memory`` starts
+                # as a copy of the base input.
+                zero_tail = _GRANULE_ZERO_TAIL
+                for offset in range(0, self.sandbox.size, MEMORY_GRANULE):
+                    if offset not in preserved_offsets:
+                        if uniform() < 0.25:
+                            word = getrandbits(4)
+                        else:
+                            word = getrandbits(bits)
+                        memory[offset] = word & 0xFF
+                        memory[offset + 1] = word >> 8
+                        memory[offset + 2 : offset + MEMORY_GRANULE] = zero_tail
+            else:
+                for offset in range(0, self.sandbox.size, MEMORY_GRANULE):
+                    if offset not in preserved_offsets:
+                        word = getrandbits(4) if uniform() < 0.25 else getrandbits(bits)
+                        memory[offset : offset + MEMORY_GRANULE] = word.to_bytes(
+                            MEMORY_GRANULE, "little"
+                        )
             variants.append(Input.create(registers, bytes(memory), seed=base.seed))
         return variants
 

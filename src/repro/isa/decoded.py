@@ -71,7 +71,16 @@ class DecodedInstruction:
         "mem_index",
         "mem_displacement",
         "mem_size",
+        "exec_kind",
+        "effect_fn",
     )
+
+    #: ``exec_kind`` values: integer dispatch for the O3 execute stage,
+    #: ordered so the most frequent kinds are tested first.
+    KIND_SIMPLE = 0  # NOP / LFENCE / EXIT
+    KIND_BRANCH = 1  # JMP / JCC
+    KIND_MEMORY = 2  # any load/store
+    KIND_ALU = 3  # everything else (register ALU, SETCC, CMOV, CMP/TEST)
 
     def __init__(self, instruction: Instruction) -> None:
         self.instruction = instruction
@@ -124,6 +133,18 @@ class DecodedInstruction:
             self.mem_index = None
             self.mem_displacement = 0
             self.mem_size = 0
+        if self.is_branch:
+            self.exec_kind: int = DecodedInstruction.KIND_BRANCH
+        elif self.is_memory_access:
+            self.exec_kind = DecodedInstruction.KIND_MEMORY
+        elif self.opcode in (Opcode.NOP, Opcode.LFENCE, Opcode.EXIT):
+            self.exec_kind = DecodedInstruction.KIND_SIMPLE
+        else:
+            self.exec_kind = DecodedInstruction.KIND_ALU
+        #: Specialized ``evaluate`` closure, attached lazily by
+        #: :func:`repro.isa.specialized.attach_effect_closures`; None until
+        #: (and unless) specialization is enabled for this program.
+        self.effect_fn: Optional[Callable] = None
 
     def effective_address(self, read_register: ReadRegister) -> int:
         """Resolve this instruction's memory address.

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
@@ -62,6 +64,7 @@ class Program:
         self._ensure_exit()
         self._by_pc: Dict[int, Instruction] = {}
         self._block_start: Dict[str, int] = {}
+        self._content_id: Optional[str] = None
         self._assign_addresses()
 
     # -- construction helpers -------------------------------------------------
@@ -175,6 +178,26 @@ class Program:
         return Program(
             blocks, code_base=payload["code_base"], name=payload["name"]
         )
+
+    def content_id(self) -> str:
+        """Stable digest of the program's structure (name excluded).
+
+        Two programs with identical blocks hash identically no matter how
+        they were built or what they are called — the corpus on-disk ids
+        (:func:`repro.feedback.corpus.program_id`) and the specialization
+        cache (:mod:`repro.isa.specialized`) both key on this, so a corpus
+        entry replayed under a fresh name still hits the compiled artifact.
+        Cached per instance; programs are immutable after construction.
+        """
+        if self._content_id is None:
+            payload = {
+                key: value for key, value in self.to_dict().items() if key != "name"
+            }
+            canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+            self._content_id = hashlib.blake2b(
+                canonical.encode("utf-8"), digest_size=8
+            ).hexdigest()
+        return self._content_id
 
     # -- formatting -------------------------------------------------------------
     def to_asm(self) -> str:

@@ -42,6 +42,14 @@ class SetAssociativeCache:
         self.config = config
         self._lines: List[Dict[int, int]] = [dict() for _ in range(config.sets)]
         self._use_counter = 0
+        # Dirty-set tracking for snapshot restores: every mutating entry
+        # point records the set index it touched, so restoring a snapshot
+        # (the per-test-case re-prime) only rebuilds the handful of sets a
+        # run actually dirtied instead of copying every set dict.
+        # ``_dirty_all`` marks states with no snapshot correspondence
+        # (fresh cache, post-flush) that need the full copy.
+        self._dirty: set = set()
+        self._dirty_all = True
 
     # -- address helpers -----------------------------------------------------
     def line_base(self, address: int) -> int:
@@ -51,20 +59,30 @@ class SetAssociativeCache:
         return (address // self.config.line_size) % self.config.sets
 
     # -- access path -----------------------------------------------------------
+    # The line/set arithmetic is inlined in the hot entry points below
+    # (lookup/install/probe): the address helpers cost a function call each,
+    # and the access path runs several times per simulated cycle.
     def lookup(self, address: int, update_replacement: bool = True) -> bool:
         """Return True on hit; optionally refresh the line's LRU position."""
-        base = self.line_base(address)
-        entry_set = self._lines[self.set_index(address)]
+        config = self.config
+        line_size = config.line_size
+        base = address - (address % line_size)
+        index = (address // line_size) % config.sets
+        entry_set = self._lines[index]
         if base in entry_set:
             if update_replacement:
                 self._use_counter += 1
                 entry_set[base] = self._use_counter
+                self._dirty.add(index)
             return True
         return False
 
     def probe(self, address: int) -> bool:
         """Hit/miss check with no side effect on replacement state."""
-        return self.line_base(address) in self._lines[self.set_index(address)]
+        line_size = self.config.line_size
+        return (address - (address % line_size)) in self._lines[
+            (address // line_size) % self.config.sets
+        ]
 
     def has_free_way(self, address: int) -> bool:
         return len(self._lines[self.set_index(address)]) < self.config.ways
@@ -78,14 +96,18 @@ class SetAssociativeCache:
 
     def install(self, address: int) -> Optional[int]:
         """Install the line containing ``address``; return any evicted line."""
-        base = self.line_base(address)
-        entry_set = self._lines[self.set_index(address)]
+        config = self.config
+        line_size = config.line_size
+        base = address - (address % line_size)
+        index = (address // line_size) % config.sets
+        entry_set = self._lines[index]
+        self._dirty.add(index)
         self._use_counter += 1
         if base in entry_set:
             entry_set[base] = self._use_counter
             return None
         evicted = None
-        if len(entry_set) >= self.config.ways:
+        if len(entry_set) >= config.ways:
             evicted = min(entry_set, key=entry_set.get)
             del entry_set[evicted]
         entry_set[base] = self._use_counter
@@ -97,19 +119,23 @@ class SetAssociativeCache:
         Used to model InvisiSpec's UV1 bug, where a speculative load miss on
         a full set triggers a replacement even though nothing is installed.
         """
-        entry_set = self._lines[self.set_index(address)]
+        index = self.set_index(address)
+        entry_set = self._lines[index]
         if not entry_set:
             return None
         victim = min(entry_set, key=entry_set.get)
         del entry_set[victim]
+        self._dirty.add(index)
         return victim
 
     def invalidate(self, address: int) -> bool:
         """Remove the line containing ``address``; return True if it was present."""
         base = self.line_base(address)
-        entry_set = self._lines[self.set_index(address)]
+        index = self.set_index(address)
+        entry_set = self._lines[index]
         if base in entry_set:
             del entry_set[base]
+            self._dirty.add(index)
             return True
         return False
 
@@ -118,10 +144,31 @@ class SetAssociativeCache:
         for entry_set in self._lines:
             entry_set.clear()
         self._use_counter = 0
+        self._dirty.clear()
+        self._dirty_all = True
+
+    def restore_from(self, lines_snapshot, use_counter: int) -> None:
+        """Rebuild cache contents from a snapshot taken of *this* lineage.
+
+        Only valid when the current state was derived from ``lines_snapshot``
+        by mutations recorded in ``_dirty`` (the caller tracks which snapshot
+        the cache was last synchronised with); otherwise ``_dirty_all`` must
+        be set first to force the full copy.
+        """
+        if self._dirty_all:
+            self._lines = [dict(entry_set) for entry_set in lines_snapshot]
+            self._dirty_all = False
+        else:
+            lines = self._lines
+            for index in self._dirty:
+                lines[index] = dict(lines_snapshot[index])
+        self._dirty.clear()
+        self._use_counter = use_counter
 
     def fill_set(self, set_index: int, addresses: List[int]) -> None:
         """Prime one set with the given line addresses (oldest first)."""
         entry_set = self._lines[set_index]
+        self._dirty.add(set_index)
         for address in addresses:
             self._use_counter += 1
             entry_set[self.line_base(address)] = self._use_counter
@@ -159,13 +206,23 @@ class MSHRFile:
         self.count = count
         self._busy: Dict[int, Tuple[int, int]] = {}  # id -> (line, release_cycle)
         self._next_id = 0
+        #: Earliest release cycle among busy MSHRs (None when idle); lets the
+        #: per-cycle expire sweep return without scanning while fills are
+        #: still in flight.
+        self._next_release: Optional[int] = None
         self.peak_occupancy = 0
 
     def expire(self, cycle: int) -> None:
         """Release MSHRs whose fills have completed by ``cycle``."""
-        finished = [mshr for mshr, (_, release) in self._busy.items() if release <= cycle]
+        busy = self._busy
+        if not busy or cycle < self._next_release:
+            return
+        finished = [mshr for mshr, (_, release) in busy.items() if release <= cycle]
         for mshr in finished:
-            del self._busy[mshr]
+            del busy[mshr]
+        self._next_release = (
+            min(release for _, release in busy.values()) if busy else None
+        )
 
     def available(self) -> bool:
         return len(self._busy) < self.count
@@ -180,6 +237,8 @@ class MSHRFile:
         mshr_id = self._next_id
         self._next_id += 1
         self._busy[mshr_id] = (line_address, release_cycle)
+        if self._next_release is None or release_cycle < self._next_release:
+            self._next_release = release_cycle
         self.peak_occupancy = max(self.peak_occupancy, len(self._busy))
         return mshr_id
 
@@ -188,4 +247,5 @@ class MSHRFile:
 
     def reset(self) -> None:
         self._busy.clear()
+        self._next_release = None
         self.peak_occupancy = 0

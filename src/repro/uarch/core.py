@@ -35,10 +35,11 @@ from repro.defenses.base import Defense
 from repro.generator.inputs import Input
 from repro.generator.sandbox import Sandbox
 from repro.isa.decoded import DecodedInstruction, decode_program
-from repro.isa.instructions import Instruction, Opcode
+from repro.isa.instructions import Instruction
 from repro.isa.program import INSTRUCTION_SIZE, Program
-from repro.isa.registers import ArchState
+from repro.isa.registers import MASK64 as _MASK64, ArchState
 from repro.isa.semantics import evaluate
+from repro.isa.specialized import attach_effect_closures
 from repro.uarch.branch_predictor import BranchPredictor
 from repro.uarch.config import UarchConfig
 from repro.uarch.memory_dep import MemoryDependencePredictor
@@ -53,6 +54,14 @@ BRANCH_RESOLVE_LATENCY = 4
 #: How far (in L1I lines) the front end may run ahead of the EXIT instruction
 #: while it waits for EXIT to commit.
 FETCH_AHEAD_LINES = 256
+
+
+#: Shared empty dependency set for non-speculative accesses (read-only).
+_NO_DEPS: Set[int] = frozenset()
+
+
+def _entry_seq(entry: "InFlightInstruction") -> int:
+    return entry.seq
 
 
 class InFlightInstruction:
@@ -98,6 +107,7 @@ class InFlightInstruction:
         "safe_notified",
         "squashed",
         "defense_data",
+        "waiters",
     )
 
     def __init__(
@@ -147,6 +157,10 @@ class InFlightInstruction:
         self.squashed = False
         # Per-defense annotations (speculative buffers, cleanup metadata, ...).
         self.defense_data: Dict[str, object] = {}
+        # Issue wakeup: entries whose operands are blocked on this one,
+        # parked here (off the issue list) until this entry's status
+        # advances.
+        self.waiters: List["InFlightInstruction"] = []
 
     def overlaps(self, other: "InFlightInstruction") -> bool:
         """Do the memory ranges of two executed accesses overlap?"""
@@ -236,11 +250,18 @@ class O3Core:
         config: Optional[UarchConfig] = None,
         defense: Optional[Defense] = None,
         sandbox: Optional[Sandbox] = None,
+        specialize: bool = True,
     ) -> None:
         from repro.defenses.baseline import BaselineDefense
 
         self.program = program
         self.decoded = decode_program(program)
+        self.specialize = specialize
+        if specialize:
+            # Pre-resolved evaluate() closures for the execute stage; the
+            # decoded program is shared (and so are the closures) with the
+            # functional emulator via the decode cache.
+            attach_effect_closures(self.decoded)
         self.config = config or UarchConfig()
         self.sandbox = sandbox or Sandbox()
         self.memory = MemorySystem(self.config)
@@ -275,6 +296,41 @@ class O3Core:
         self._loads_in_flight = 0
         self._stores_in_flight = 0
         self.cycle = 0
+        # Writeback works off finish-cycle buckets instead of scanning the
+        # whole window every cycle; safety notifications work off a pending
+        # list of in-flight memory accesses for the same reason.
+        self._finish_buckets: Dict[int, List[InFlightInstruction]] = {}
+        self._safety_pending: List[InFlightInstruction] = []
+        self._exec_waiting: List[InFlightInstruction] = []
+        # Seqs of in-flight unresolved conditional branches / stores with
+        # unresolved addresses — the two things that make a younger memory
+        # access speculative.  Maintained at dispatch/resolve/squash so
+        # _capture_speculation_status never scans the window.
+        self._unresolved_branches: Set[int] = set()
+        self._unresolved_stores: Set[int] = set()
+        # Cached dict form of the architectural flags (invalidated whenever
+        # a committed instruction writes flags); _flags_for hands it out to
+        # every entry without a flag producer in flight.
+        self._arch_flags_dict: Optional[Dict[str, bool]] = None
+        # Fetch-ahead bounds are loop-invariant; compute them once.
+        self._fetch_ahead_limit = (
+            program.end_pc + FETCH_AHEAD_LINES * self.config.l1i.line_size
+        )
+        self._fetch_ahead_step = self.config.fetch_width * INSTRUCTION_SIZE
+        # Defenses that never override tick() pay nothing for the stage.
+        self._defense_ticks = type(self.defense).tick is not Defense.tick
+        # Same for safety notifications: the stage only matters to defenses
+        # that either override on_entry_safe or read entry.safe_notified.
+        self._defense_safety = (
+            type(self.defense).on_entry_safe is not Defense.on_entry_safe
+            or self.defense.tracks_safety
+        )
+        # Set when waking parked entries back onto the issue list leaves it
+        # out of dispatch order (the issue scan re-sorts before iterating).
+        self._exec_resort = False
+        # Stores dispatched this run, in seq order (committed/squashed ones
+        # skipped lazily); load issue scans this instead of the whole ROB.
+        self._inflight_stores: List[InFlightInstruction] = []
 
     # ======================================================================
     # public API
@@ -291,25 +347,102 @@ class O3Core:
         config = self.config
         max_cycles = config.max_cycles
         drain_cycles = config.drain_cycles
-        expire = self.memory.mshrs.expire
+        mshrs = self.memory.mshrs
+        expire = mshrs.expire
         tick = self.defense.tick
+        tick_needed = self._defense_ticks
+        buckets = self._finish_buckets
 
+        # Idle-cycle fast-forward: once a cycle performs no observable work
+        # (every stage below reports inactivity), the pipeline state is a
+        # fixed point — nothing can change until a *time-triggered* event:
+        # a writeback bucket coming due, the fetch stall expiring, or a
+        # commit stall expiring.  Jumping the cycle counter straight to the
+        # earliest such event is exact: the skipped cycles would each have
+        # re-scanned the same state and done nothing (MSHR expiry commutes —
+        # it releases by release_cycle <= now, so one batched call at the
+        # event cycle frees the same set).  Defenses that override tick()
+        # observe every cycle, so the fast-forward is disabled for them.
         while True:
             self.cycle += 1
             cycle = self.cycle
             if cycle > max_cycles:
                 break
-            expire(cycle)
-            tick(cycle)
-            self._writeback(cycle)
-            self._update_safety(cycle)
-            self._commit(cycle)
-            if self._exit_committed_cycle is not None:
-                if cycle >= self._exit_committed_cycle + drain_cycles:
+            if mshrs._busy:
+                expire(cycle)
+            if tick_needed:
+                tick(cycle)
+            active = False
+            if buckets:
+                if self._writeback(cycle):
+                    active = True
+            if self._safety_pending:
+                # Only non-empty for defenses that consume notifications
+                # (dispatch never fills it otherwise).
+                if self._update_safety(cycle):
+                    active = True
+            if self._rob:
+                if self._commit(cycle):
+                    active = True
+            exit_cycle = self._exit_committed_cycle
+            if exit_cycle is not None:
+                end = exit_cycle + drain_cycles
+                if cycle >= end:
                     break
+                if not active and not tick_needed:
+                    target = end
+                    if buckets:
+                        next_bucket = min(buckets)
+                        if next_bucket < target:
+                            target = next_bucket
+                    if target > cycle + 1:
+                        self.cycle = target - 1
                 continue
-            self._execute(cycle)
-            self._fetch(cycle)
+            if self._exec_waiting:
+                if self._execute(cycle):
+                    active = True
+            fetch_code = self._fetch(cycle)
+            if fetch_code == 1:
+                active = True
+            if not active and not tick_needed:
+                target = max_cycles + 1
+                if buckets:
+                    next_bucket = min(buckets)
+                    if next_bucket < target:
+                        target = next_bucket
+                if cycle < self._fetch_stalled_until < target:
+                    target = self._fetch_stalled_until
+                if self._rob and cycle < self._stall_commit_until < target:
+                    target = self._stall_commit_until
+                if target > cycle + 1:
+                    if fetch_code == 2:
+                        # Replay the fetch-ahead steps the skipped cycles
+                        # would have taken, in order — their L1I/L2 installs
+                        # are observable in the trace but nothing in the
+                        # idle window reads them back.  The L1I hit path is
+                        # inlined; misses take the normal install route.
+                        pc = self._fetch_ahead_pc
+                        limit = self._fetch_ahead_limit
+                        step = self._fetch_ahead_step
+                        l1i = self.memory.l1i
+                        l2_install = self.memory.l2.install
+                        line_size = l1i.config.line_size
+                        set_count = l1i.config.sets
+                        l1i_lines = l1i._lines
+                        for _ in range(target - 1 - cycle):
+                            if pc >= limit:
+                                break
+                            line = pc - (pc % line_size)
+                            entry_set = l1i_lines[(pc // line_size) % set_count]
+                            if line in entry_set:
+                                l1i._use_counter += 1
+                                entry_set[line] = l1i._use_counter
+                            else:
+                                l1i.install(line)
+                                l2_install(line)
+                            pc += step
+                        self._fetch_ahead_pc = pc
+                    self.cycle = target - 1
 
         self.stats.cycles = self.cycle
         self.stats.mshr_stalls = self.memory.mshr_stall_events
@@ -405,26 +538,48 @@ class O3Core:
         self._loads_in_flight = 0
         self._stores_in_flight = 0
         self.cycle = 0
+        self._finish_buckets = {}
+        self._safety_pending = []
+        self._exec_waiting = []
+        self._unresolved_branches = set()
+        self._unresolved_stores = set()
+        self._exec_resort = False
+        self._inflight_stores = []
+        self._arch_flags_dict = None
         self.memory.clear_access_log()
         self.defense.reset_for_run()
 
     # ======================================================================
     # pipeline stages
     # ======================================================================
-    def _writeback(self, cycle: int) -> None:
-        # Iterating self._rob directly is safe: _resolve_branch's squash
-        # replaces self._rob with a fresh deque instead of mutating it.
-        for entry in self._rob:
-            if entry.status != "executing" or entry.finish_cycle is None:
-                continue
-            if entry.finish_cycle > cycle:
+    def _writeback(self, cycle: int) -> bool:
+        # Entries are filed under their finish cycle by _begin, so writeback
+        # touches exactly the instructions completing now instead of scanning
+        # the whole window.  Age order within a bucket matters: an older
+        # branch must resolve (and possibly squash) before a younger one.
+        bucket = self._finish_buckets.pop(cycle, None)
+        if bucket is None:
+            return False
+        if len(bucket) > 1:
+            bucket.sort(key=_entry_seq)
+        for entry in bucket:
+            # A bucketed entry may have been squashed since it began
+            # executing (by an older branch, this cycle or earlier).
+            if entry.status != "executing":
                 continue
             entry.status = "done"
+            waiters = entry.waiters
+            if waiters:
+                self._exec_waiting.extend(waiters)
+                self._exec_resort = True
+                entry.waiters = []
             if entry.is_cond_branch and not entry.resolved:
                 self._resolve_branch(entry, cycle)
+        return True
 
     def _resolve_branch(self, entry: InFlightInstruction, cycle: int) -> None:
         entry.resolved = True
+        self._unresolved_branches.discard(entry.seq)
         if entry.actual_taken == entry.predicted_taken:
             return
         entry.mispredicted = True
@@ -436,21 +591,32 @@ class O3Core:
         )
         self._squash_from(entry.seq + 1, correct_pc, cycle)
 
-    def _update_safety(self, cycle: int) -> None:
-        for entry in self._rob:
-            if (
-                not entry.is_memory_access
-                or entry.safe_notified
-                or entry.squashed
-            ):
+    def _update_safety(self, cycle: int) -> bool:
+        # Scans a pending list of in-flight memory accesses (filled at
+        # dispatch) instead of the whole window.  Entries leave the list when
+        # notified, squashed, or committed — a committed entry left the
+        # window unnotified in the original full scan, so it is dropped
+        # without a callback here too.  Dropping dead entries is not
+        # "activity" for the fast-forward: a later pass over the shrunken
+        # list reaches the same decisions.
+        notified = False
+        pending = self._safety_pending
+        keep: List[InFlightInstruction] = []
+        notify = self.defense.on_entry_safe
+        for entry in pending:
+            if entry.squashed or entry.safe_notified:
                 continue
             status = entry.status
-            if status != "done" and status != "executing":
+            if status == "committed":
                 continue
-            if not self._deps_resolved(entry):
+            if (status == "done" or status == "executing") and self._deps_resolved(entry):
+                entry.safe_notified = True
+                notify(entry, cycle)
+                notified = True
                 continue
-            entry.safe_notified = True
-            self.defense.on_entry_safe(entry, cycle)
+            keep.append(entry)
+        self._safety_pending = keep
+        return notified
 
     def _deps_resolved(self, entry: InFlightInstruction) -> bool:
         for dep_seq in entry.unsafe_deps:
@@ -463,9 +629,9 @@ class O3Core:
                 return False
         return True
 
-    def _commit(self, cycle: int) -> None:
+    def _commit(self, cycle: int) -> bool:
         if cycle < self._stall_commit_until:
-            return
+            return False
         committed = 0
         rob = self._rob
         while rob and committed < self.config.commit_width:
@@ -492,9 +658,17 @@ class O3Core:
                 break
             if cycle < self._stall_commit_until:
                 break
+        return committed > 0
 
     def _commit_entry(self, entry: InFlightInstruction, cycle: int) -> None:
         entry.status = "committed"
+        waiters = entry.waiters
+        if waiters:
+            # Loads blocked on this store's *commit* (partial-overlap
+            # forwarding) park here after the done-transition wake.
+            self._exec_waiting.extend(waiters)
+            self._exec_resort = True
+            entry.waiters = []
         effect = entry.effect
         state = self.arch_state
         if effect is not None:
@@ -502,6 +676,7 @@ class O3Core:
                 state.registers.write(name, value)
             if effect.flag_writes:
                 state.flags.update(effect.flag_writes)
+                self._arch_flags_dict = None
             if effect.memory_write is not None:
                 address, size, value = effect.memory_write
                 state.write_memory(address, size, value)
@@ -519,45 +694,79 @@ class O3Core:
         self.defense.on_commit(entry, cycle)
         self.stats.instructions_committed += 1
 
-    def _execute(self, cycle: int) -> None:
+    def _execute(self, cycle: int) -> bool:
+        # Issue works off a dispatch-ordered list of still-waiting entries
+        # instead of rescanning the whole reorder buffer: entries leave the
+        # list when they start executing (or turn out squashed/committed —
+        # squash and the EXIT drain leave stale references behind, which the
+        # status check drops lazily, matching the old full-ROB scan).
+        #
+        # Returns True when any execution start was *attempted*: a refused
+        # start (MSHR stall, defense delay) may succeed on any later cycle
+        # for reasons invisible to the core, so such cycles must not be
+        # fast-forwarded.
+        waiting = self._exec_waiting
+        if self._exec_resort:
+            # Woken entries were appended out of dispatch order; issue
+            # priority is by age, so restore seq order before scanning.
+            waiting.sort(key=_entry_seq)
+            self._exec_resort = False
+        attempted = False
         issued = 0
         issue_width = self.config.issue_width
-        # Direct iteration is safe for the same reason as _writeback:
-        # squashes replace self._rob rather than mutating it in place.
-        for entry in self._rob:
+        keep: List[InFlightInstruction] = []
+        for entry in waiting:
+            if entry.squashed or entry.status != "waiting":
+                continue
             if issued >= issue_width:
-                break
-            if entry.status != "waiting" or entry.squashed:
+                keep.append(entry)
                 continue
-            if not self._operands_ready(entry):
+            blocker = self._blocking_producer(entry)
+            if blocker is not None:
+                # Park off the issue list until the blocker's status
+                # advances (its done/commit transition re-appends us).
+                blocker.waiters.append(entry)
                 continue
+            attempted = True
             if self._start_execution(entry, cycle):
                 issued += 1
+            else:
+                keep.append(entry)
+        self._exec_waiting = keep
+        return attempted
 
-    def _operands_ready(self, entry: InFlightInstruction) -> bool:
+    def _blocking_producer(
+        self, entry: InFlightInstruction
+    ) -> Optional[InFlightInstruction]:
+        """The first producer ``entry``'s operands still wait on, or None.
+
+        A producer blocks until its status reaches done/committed.  Only
+        instructions that consume flag state must wait for the previous flag
+        producer: explicit readers (Jcc/CMOVcc/SETcc) and partial flag
+        updaters (INC/DEC preserve the carry, shifts leave flags untouched
+        for a zero count).  Full flag writers overwrite all five flags and
+        need no ordering — waiting there would serialise the whole window on
+        the flags register and artificially shrink speculative windows.
+        """
         entries = self._entries
         for producer_seq in entry.sources.values():
             if producer_seq is None:
                 continue
-            status = entries[producer_seq].status
+            producer = entries[producer_seq]
+            status = producer.status
             if status != "done" and status != "committed":
-                return False
-        # Only instructions that consume flag state must wait for the previous
-        # flag producer: explicit readers (Jcc/CMOVcc/SETcc) and partial flag
-        # updaters (INC/DEC preserve the carry, shifts leave flags untouched
-        # for a zero count).  Full flag writers overwrite all five flags and
-        # need no ordering — waiting here would serialise the whole window on
-        # the flags register and artificially shrink speculative windows.
+                return producer
         if entry.decoded.needs_flags_order and entry.flags_source is not None:
-            status = entries[entry.flags_source].status
+            producer = entries[entry.flags_source]
+            status = producer.status
             if status != "done" and status != "committed":
-                return False
+                return producer
         if entry.wait_for_store_commit is not None:
             store = entries.get(entry.wait_for_store_commit)
             if store is not None and not store.squashed and store.status != "committed":
-                return False
+                return store
             entry.wait_for_store_commit = None
-        return True
+        return None
 
     # -- value helpers ------------------------------------------------------------
     def _read_register(self, entry: InFlightInstruction, name: str) -> int:
@@ -574,46 +783,53 @@ class O3Core:
     def _flags_for(self, entry: InFlightInstruction) -> Dict[str, bool]:
         # Flags dictionaries are never mutated in place (flags_out is always
         # rebound to a fresh dict), so the producer's dict is shared rather
-        # than defensively copied.
+        # than defensively copied.  The architectural fallback dict is cached
+        # until a committing instruction writes flags.
         if entry.flags_source is not None:
             flags_out = self._entries[entry.flags_source].flags_out
             if flags_out is not None:
                 return flags_out
-        return self.arch_state.flags.as_dict()
+        cached = self._arch_flags_dict
+        if cached is None:
+            cached = self.arch_state.flags.as_dict()
+            self._arch_flags_dict = cached
+        return cached
 
     # -- execution of individual instruction kinds -------------------------------------
-    def _start_execution(self, entry: InFlightInstruction, cycle: int) -> bool:
+    def _eval(self, entry: InFlightInstruction, flags_in: Dict[str, bool], read_memory):
+        """Evaluate ``entry`` — specialized closure when available."""
         decoded = entry.decoded
-        opcode = decoded.opcode
-
-        if opcode in (Opcode.NOP, Opcode.LFENCE, Opcode.EXIT):
-            flags_in = self._flags_for(entry)
-            entry.effect = evaluate(
-                decoded.instruction,
-                lambda name: self._read_register(entry, name),
-                flags_in,
-                self.arch_state.read_memory,
+        effect_fn = decoded.effect_fn if self.specialize else None
+        if effect_fn is not None:
+            return effect_fn(
+                lambda name: self._read_register(entry, name), flags_in, read_memory
             )
-            entry.flags_out = flags_in
-            self._begin(entry, cycle, self.config.alu_latency)
-            return True
+        return evaluate(
+            decoded.instruction,
+            lambda name: self._read_register(entry, name),
+            flags_in,
+            read_memory,
+        )
 
-        if decoded.is_branch:
+    def _start_execution(self, entry: InFlightInstruction, cycle: int) -> bool:
+        # Integer kind dispatch, most frequent kinds first.
+        kind = entry.decoded.exec_kind
+        if kind == DecodedInstruction.KIND_ALU:
+            return self._execute_alu(entry, cycle)
+        if kind == DecodedInstruction.KIND_MEMORY:
+            return self._execute_memory(entry, cycle)
+        if kind == DecodedInstruction.KIND_BRANCH:
             return self._execute_branch(entry, cycle)
 
-        if entry.is_memory_access:
-            return self._execute_memory(entry, cycle)
-
-        return self._execute_alu(entry, cycle)
+        flags_in = self._flags_for(entry)
+        entry.effect = self._eval(entry, flags_in, self.arch_state.read_memory)
+        entry.flags_out = flags_in
+        self._begin(entry, cycle, self.config.alu_latency)
+        return True
 
     def _execute_alu(self, entry: InFlightInstruction, cycle: int) -> bool:
         flags_in = self._flags_for(entry)
-        effect = evaluate(
-            entry.decoded.instruction,
-            lambda name: self._read_register(entry, name),
-            flags_in,
-            self.arch_state.read_memory,
-        )
+        effect = self._eval(entry, flags_in, self.arch_state.read_memory)
         entry.effect = effect
         entry.result_registers = effect.register_writes
         entry.flags_out = {**flags_in, **effect.flag_writes}
@@ -623,12 +839,7 @@ class O3Core:
     def _execute_branch(self, entry: InFlightInstruction, cycle: int) -> bool:
         decoded = entry.decoded
         flags_in = self._flags_for(entry)
-        effect = evaluate(
-            decoded.instruction,
-            lambda name: self._read_register(entry, name),
-            flags_in,
-            self.arch_state.read_memory,
-        )
+        effect = self._eval(entry, flags_in, self.arch_state.read_memory)
         entry.effect = effect
         entry.flags_out = flags_in
         entry.actual_taken = bool(effect.branch_taken)
@@ -642,13 +853,31 @@ class O3Core:
 
     def _execute_memory(self, entry: InFlightInstruction, cycle: int) -> bool:
         decoded = entry.decoded
-        address = decoded.effective_address(
-            lambda name: self._read_register(entry, name)
-        )
+        # Effective address, inlined (this is the entry point of every
+        # load/store issue attempt; the generic helper costs a closure
+        # allocation plus two call hops per attempt).
+        read = self._read_register
+        address = read(entry, decoded.mem_base) + decoded.mem_displacement
+        if decoded.mem_index is not None:
+            address += read(entry, decoded.mem_index)
+        address &= _MASK64
         entry.mem_address = address
-        entry.mem_size = decoded.mem_size
-        entry.line_addresses = self.memory.lines_of_access(address, decoded.mem_size)
-        entry.is_split = len(entry.line_addresses) > 1
+        size = decoded.mem_size
+        entry.mem_size = size
+        line_size = self.memory.l1d.config.line_size
+        first = address - (address % line_size)
+        last_byte = address + size - 1 if size > 1 else address
+        last = last_byte - (last_byte % line_size)
+        if first == last:
+            entry.line_addresses = [first]
+            entry.is_split = False
+        else:
+            entry.line_addresses = [first, last]
+            entry.is_split = True
+        if entry.is_store:
+            # This store's address just resolved; it no longer blocks
+            # younger accesses (and must not appear in its own deps).
+            self._unresolved_stores.discard(entry.seq)
         self._capture_speculation_status(entry)
 
         if entry.is_load:
@@ -656,27 +885,33 @@ class O3Core:
         return self._execute_store(entry, cycle)
 
     def _capture_speculation_status(self, entry: InFlightInstruction) -> None:
-        deps: Set[int] = set()
+        # The incremental seq sets hold exactly the entries the old window
+        # scan would have collected: unresolved conditional branches and
+        # stores whose address is still unknown, squashed entries removed.
+        branches = self._unresolved_branches
+        stores = self._unresolved_stores
+        if not branches and not stores:
+            entry.unsafe_deps = _NO_DEPS
+            entry.speculative = False
+            return
         entry_seq = entry.seq
-        for older in self._rob:
-            if older.seq >= entry_seq:
-                break
-            if older.squashed:
-                continue
-            if older.is_cond_branch and not older.resolved:
-                deps.add(older.seq)
-            elif older.is_store and older.mem_address is None and older.seq != entry_seq:
-                deps.add(older.seq)
+        deps = {seq for seq in branches if seq < entry_seq}
+        if stores:
+            deps.update(seq for seq in stores if seq < entry_seq)
         entry.unsafe_deps = deps
         entry.speculative = bool(deps)
 
     def _execute_load(self, entry: InFlightInstruction, cycle: int) -> bool:
         forwarded_value: Optional[int] = None
-        # Scan older stores, youngest first.
-        for older in reversed(self._rob):
-            if older.seq >= entry.seq:
+        # Scan older in-flight stores, youngest first.  Committed stores
+        # have drained to architectural memory (their writes land at
+        # commit), which is what read_memory sees below — exactly the
+        # stores the old whole-ROB scan no longer contained.
+        entry_seq = entry.seq
+        for older in reversed(self._inflight_stores):
+            if older.seq >= entry_seq:
                 continue
-            if older.squashed or not older.is_store or older is entry:
+            if older.squashed or older.status == "committed":
                 continue
             if older.mem_address is None:
                 if self.dependence_predictor.predicts_alias(entry.pc):
@@ -719,12 +954,7 @@ class O3Core:
             )
 
         flags_in = self._flags_for(entry)
-        effect = evaluate(
-            entry.decoded.instruction,
-            lambda name: self._read_register(entry, name),
-            flags_in,
-            lambda _address, _size: entry.memory_value,
-        )
+        effect = self._eval(entry, flags_in, lambda _address, _size: entry.memory_value)
         entry.effect = effect
         entry.result_registers = effect.register_writes
         entry.flags_out = {**flags_in, **effect.flag_writes}
@@ -747,12 +977,7 @@ class O3Core:
             self.stats.defense_delayed_accesses += 1
             return False
         flags_in = self._flags_for(entry)
-        effect = evaluate(
-            entry.decoded.instruction,
-            lambda name: self._read_register(entry, name),
-            flags_in,
-            self.arch_state.read_memory,
-        )
+        effect = self._eval(entry, flags_in, self.arch_state.read_memory)
         entry.effect = effect
         entry.result_registers = effect.register_writes
         entry.flags_out = {**flags_in, **effect.flag_writes}
@@ -786,7 +1011,13 @@ class O3Core:
     def _begin(self, entry: InFlightInstruction, cycle: int, latency: int) -> None:
         entry.status = "executing"
         entry.execute_cycle = cycle
-        entry.finish_cycle = cycle + latency
+        finish = cycle + latency
+        entry.finish_cycle = finish
+        bucket = self._finish_buckets.get(finish)
+        if bucket is None:
+            self._finish_buckets[finish] = [entry]
+        else:
+            bucket.append(entry)
 
     # ======================================================================
     # squash
@@ -816,6 +1047,16 @@ class O3Core:
         self._rob = survivors
         self._loads_in_flight = loads
         self._stores_in_flight = stores
+        # Everything squashed has seq >= first_seq.
+        self._unresolved_branches = {
+            seq for seq in self._unresolved_branches if seq < first_seq
+        }
+        self._unresolved_stores = {
+            seq for seq in self._unresolved_stores if seq < first_seq
+        }
+        self._inflight_stores = [
+            store for store in self._inflight_stores if store.seq < first_seq
+        ]
 
         # Rebuild the rename map from the surviving window.
         self._rename_map = {}
@@ -847,17 +1088,28 @@ class O3Core:
     # ======================================================================
     # fetch
     # ======================================================================
-    def _fetch(self, cycle: int) -> None:
+    def _fetch(self, cycle: int) -> int:
+        # Returns 0 when the front end did nothing, 1 when it dispatched
+        # instructions, 2 when it only advanced the fetch-ahead stream.  The
+        # distinction matters for the idle fast-forward: dispatch makes the
+        # next cycle non-idle (fresh entries may issue), while fetch-ahead
+        # steps are feedback-free and can be batch-replayed across a skip.
         if self._exit_committed_cycle is not None:
-            return
+            return 0
         if cycle < self._fetch_stalled_until:
-            return
+            return 0
         if self._exit_fetched:
-            self._fetch_ahead(cycle)
-            return
+            return 2 if self._fetch_ahead(cycle) else 0
 
         config = self.config
         at_pc = self.decoded.at_pc
+        # Inlined L1I hit path (see MemorySystem.instruction_fetch): fetch
+        # runs for every dispatched instruction and nearly always hits.
+        memory = self.memory
+        l1i = memory.l1i
+        l1i_lines = l1i._lines
+        l1i_line_size = l1i.config.line_size
+        l1i_sets = l1i.config.sets
         fetched = 0
         while fetched < config.fetch_width:
             if len(self._rob) >= config.rob_size:
@@ -870,9 +1122,17 @@ class O3Core:
             if decoded.is_store and self._stores_in_flight >= config.store_queue_size:
                 break
 
-            fetch_latency = self.memory.instruction_fetch(self._fetch_pc)
-            if fetch_latency > 1:
-                self._fetch_stalled_until = cycle + fetch_latency
+            pc = self._fetch_pc
+            line = pc - (pc % l1i_line_size)
+            entry_set = l1i_lines[(pc // l1i_line_size) % l1i_sets]
+            if line in entry_set:
+                l1i._use_counter += 1
+                entry_set[line] = l1i._use_counter
+                fetch_latency = 1
+            else:
+                fetch_latency = memory.instruction_fetch(pc)
+                if fetch_latency > 1:
+                    self._fetch_stalled_until = cycle + fetch_latency
 
             predicted_taken: Optional[bool] = None
             predicted_target: Optional[int] = None
@@ -899,21 +1159,30 @@ class O3Core:
                 self._fetch_pc = decoded.pc + INSTRUCTION_SIZE
             if fetch_latency > 1:
                 break
+        return 1 if fetched else 0
 
-    def _fetch_ahead(self, cycle: int) -> None:
+    def _fetch_ahead(self, cycle: int) -> bool:
         """Speculative fetch past the end of the test while EXIT is in flight.
 
         The number of extra L1I lines touched depends on how long EXIT takes
         to commit, which is what makes timing differences (e.g. CleanupSpec's
         cleanup latency, KV2/unXpec) visible in the instruction cache.
         """
-        if self._fetch_ahead_pc is None:
-            return
-        limit = self.program.end_pc + FETCH_AHEAD_LINES * self.config.l1i.line_size
-        if self._fetch_ahead_pc >= limit:
-            return
-        self.memory.instruction_fetch(self._fetch_ahead_pc)
-        self._fetch_ahead_pc += self.config.fetch_width * INSTRUCTION_SIZE
+        pc = self._fetch_ahead_pc
+        if pc is None or pc >= self._fetch_ahead_limit:
+            return False
+        memory = self.memory
+        l1i = memory.l1i
+        line_size = l1i.config.line_size
+        line = pc - (pc % line_size)
+        entry_set = l1i._lines[(pc // line_size) % l1i.config.sets]
+        if line in entry_set:
+            l1i._use_counter += 1
+            entry_set[line] = l1i._use_counter
+        else:
+            memory.instruction_fetch(pc)
+        self._fetch_ahead_pc = pc + self._fetch_ahead_step
+        return True
 
     def _dispatch(
         self,
@@ -945,4 +1214,12 @@ class O3Core:
 
         self._rob.append(entry)
         self._entries[seq] = entry
+        self._exec_waiting.append(entry)
+        if entry.is_memory_access and self._defense_safety:
+            self._safety_pending.append(entry)
+        if decoded.is_cond_branch:
+            self._unresolved_branches.add(seq)
+        if decoded.is_store:
+            self._unresolved_stores.add(seq)
+            self._inflight_stores.append(entry)
         return entry

@@ -15,6 +15,12 @@ from repro.uarch.cache import AccessResult, MSHRFile, SetAssociativeCache
 from repro.uarch.config import UarchConfig
 from repro.uarch.tlb import TLB
 
+#: Post-prime L1D/L2 snapshots keyed by (base, l1d geometry, l2 geometry).
+#: Priming from empty caches is a pure function of those inputs, so the
+#: snapshots are shared process-wide across MemorySystem instances (one per
+#: program executor) instead of being rebuilt by each.
+_PRIME_SNAPSHOTS: dict = {}
+
 
 class MemorySystem:
     """L1I, L1D, a unified L2, MSHRs and a data TLB, plus an access log."""
@@ -29,6 +35,19 @@ class MemorySystem:
         #: every data-cache access performed, in order: (pc, line_address, kind)
         self.access_log: List[Tuple[int, int, str]] = []
         self.mshr_stall_events = 0
+        #: Prime key the L1D/L2 dirty-set tracking is relative to: restores
+        #: may copy only dirty sets when re-priming from the same snapshot
+        #: the caches were last synchronised with.
+        self._restored_key: Optional[tuple] = None
+
+    def _prime_key(self, address_base: int) -> tuple:
+        l1d = self.config.l1d
+        l2 = self.config.l2
+        return (
+            address_base,
+            l1d.sets, l1d.ways, l1d.line_size,
+            l2.sets, l2.ways, l2.line_size,
+        )
 
     # -- data-side accesses ----------------------------------------------------
     def data_access(
@@ -68,13 +87,36 @@ class MemorySystem:
                 return None
             used_mshr = True
 
+        # Inlined l1d/l2 installs (see SetAssociativeCache.install): the
+        # fill path runs for every L1 miss of every simulated load/store.
+        # ``line`` is already a line base address, so only the set index is
+        # derived here.
         evicted = None
         installed = None
         if install_l1:
-            evicted = self.l1d.install(line)
+            l1d = self.l1d
+            l1d_config = l1d.config
+            index = (line // l1d_config.line_size) % l1d_config.sets
+            entry_set = l1d._lines[index]
+            l1d._dirty.add(index)
+            l1d._use_counter += 1
+            if line not in entry_set and len(entry_set) >= l1d_config.ways:
+                evicted = min(entry_set, key=entry_set.get)
+                del entry_set[evicted]
+            entry_set[line] = l1d._use_counter
             installed = line
         if install_l2 and not l2_hit:
-            self.l2.install(line)
+            l2 = self.l2
+            l2_config = l2.config
+            l2_base = line - (line % l2_config.line_size)
+            index = (l2_base // l2_config.line_size) % l2_config.sets
+            entry_set = l2._lines[index]
+            l2._dirty.add(index)
+            l2._use_counter += 1
+            if l2_base not in entry_set and len(entry_set) >= l2_config.ways:
+                victim = min(entry_set, key=entry_set.get)
+                del entry_set[victim]
+            entry_set[l2_base] = l2._use_counter
 
         return AccessResult(
             latency=config.l1_hit_latency + fill_latency,
@@ -92,11 +134,36 @@ class MemorySystem:
 
     def instruction_fetch(self, address: int) -> int:
         """Access the L1I for the line containing ``address``; returns latency."""
-        line = self.l1i.line_base(address)
-        if self.l1i.lookup(line):
+        # Inlined L1I hit path: fetch runs for every instruction of every
+        # simulated cycle's fetch group, and nearly all of them hit.
+        l1i = self.l1i
+        line_size = l1i.config.line_size
+        line = address - (address % line_size)
+        entry_set = l1i._lines[(address // line_size) % l1i.config.sets]
+        if line in entry_set:
+            l1i._use_counter += 1
+            entry_set[line] = l1i._use_counter
             return 1
-        self.l1i.install(line)
-        self.l2.install(line)
+        # Inlined l1i/l2 installs for the miss path (fetch-ahead streams miss
+        # on every new line, so this runs dozens of times per test case).
+        # The L1I needs no dirty marking: it is flushed, never
+        # snapshot-restored.
+        l1i._use_counter += 1
+        if len(entry_set) >= l1i.config.ways:
+            victim = min(entry_set, key=entry_set.get)
+            del entry_set[victim]
+        entry_set[line] = l1i._use_counter
+        l2 = self.l2
+        l2_config = l2.config
+        l2_base = line - (line % l2_config.line_size)
+        index = (l2_base // l2_config.line_size) % l2_config.sets
+        l2_set = l2._lines[index]
+        l2._dirty.add(index)
+        l2._use_counter += 1
+        if l2_base not in l2_set and len(l2_set) >= l2_config.ways:
+            victim = min(l2_set, key=l2_set.get)
+            del l2_set[victim]
+        l2_set[l2_base] = l2._use_counter
         return self.config.l1i_miss_latency
 
     # -- split accesses -----------------------------------------------------------
@@ -119,6 +186,37 @@ class MemorySystem:
     def clear_access_log(self) -> None:
         self.access_log.clear()
 
+    def reset_and_prime(self, address_base: int) -> int:
+        """reset_caches() + prime_l1d() fused for the per-test-case path.
+
+        When the post-prime snapshot for ``address_base`` already exists,
+        the L1D/L2 are rebuilt straight from it — flushing them first (just
+        to refill every set on the next line) would clear several hundred
+        set dicts per test case for nothing.  Back-to-back restores from the
+        *same* snapshot only rebuild the sets the previous run dirtied.
+        """
+        self.dtlb.flush()
+        self.mshrs.reset()
+        self.access_log.clear()
+        self.mshr_stall_events = 0
+        self.l1i.flush()
+        key = self._prime_key(address_base)
+        snapshot = _PRIME_SNAPSHOTS.get(key)
+        if snapshot is None:
+            self.l1d.flush()
+            self.l2.flush()
+            return self.prime_l1d(address_base)
+        installed, l1d_lines, l1d_counter, l2_lines, l2_counter = snapshot
+        l1d = self.l1d
+        l2 = self.l2
+        if self._restored_key != key:
+            l1d._dirty_all = True
+            l2._dirty_all = True
+            self._restored_key = key
+        l1d.restore_from(l1d_lines, l1d_counter)
+        l2.restore_from(l2_lines, l2_counter)
+        return installed
+
     def prime_l1d(self, address_base: int) -> int:
         """Fill every L1D set with lines starting at ``address_base``.
 
@@ -128,8 +226,30 @@ class MemorySystem:
         replacements (primed lines missing).  Returns the number of lines
         installed.  The primed lines are also installed in L2 so that probes
         of primed lines are L2 hits rather than memory accesses.
+
+        Priming from *empty* caches (the per-test-case reset_caches() +
+        prime_l1d() sequence) is a pure function of the prime base and the
+        cache geometry, so the resulting L1D/L2 state is memoised per base
+        and restored by copying — the install loop only runs once per base.
         """
-        config = self.l1d.config
+        l1d = self.l1d
+        l2 = self.l2
+        # use_counter == 0 implies the cache is empty: lines are only ever
+        # added by install/fill_set, both of which bump the counter.
+        from_empty = l1d._use_counter == 0 and l2._use_counter == 0
+        if from_empty:
+            key = self._prime_key(address_base)
+            snapshot = _PRIME_SNAPSHOTS.get(key)
+            if snapshot is not None:
+                installed, l1d_lines, l1d_counter, l2_lines, l2_counter = snapshot
+                if self._restored_key != key:
+                    l1d._dirty_all = True
+                    l2._dirty_all = True
+                    self._restored_key = key
+                l1d.restore_from(l1d_lines, l1d_counter)
+                l2.restore_from(l2_lines, l2_counter)
+                return installed
+        config = l1d.config
         installed = 0
         for set_index in range(config.sets):
             addresses = []
@@ -140,9 +260,25 @@ class MemorySystem:
                     + set_index * config.line_size
                 )
                 addresses.append(address)
-                self.l2.install(address)
+                l2.install(address)
                 installed += 1
-            self.l1d.fill_set(set_index, addresses)
+            l1d.fill_set(set_index, addresses)
+        if from_empty:
+            key = self._prime_key(address_base)
+            _PRIME_SNAPSHOTS[key] = (
+                installed,
+                tuple(dict(entry_set) for entry_set in l1d._lines),
+                l1d._use_counter,
+                tuple(dict(entry_set) for entry_set in l2._lines),
+                l2._use_counter,
+            )
+            # Live state now equals the snapshot by construction, so dirty
+            # tracking can start from here.
+            l1d._dirty.clear()
+            l1d._dirty_all = False
+            l2._dirty.clear()
+            l2._dirty_all = False
+            self._restored_key = key
         return installed
 
     def snapshot_l1d(self) -> Tuple[int, ...]:
