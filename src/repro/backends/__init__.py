@@ -32,19 +32,24 @@ def available_backends() -> Tuple[str, ...]:
 
 
 def get_backend(
-    name: str, workers: Optional[int] = None, chunk_size: int = 1
+    name: str,
+    workers: Optional[int] = None,
+    chunk_size: int = 1,
+    map_chunksize: Optional[int] = None,
 ) -> ExecutionBackend:
     """Instantiate a backend by registry name.
 
-    ``workers`` and ``chunk_size`` only apply to pooled backends; the inline
-    backend accepts and ignores them so callers can resolve uniformly from a
-    single config.
+    ``workers``, ``chunk_size`` and ``map_chunksize`` only apply to pooled
+    backends; the inline backend accepts and ignores them so callers can
+    resolve uniformly from a single config.
     """
     key = name.lower()
     if key not in _BACKENDS:
         known = ", ".join(available_backends())
         raise KeyError(f"unknown backend {name!r}; known backends: {known}")
-    return _BACKENDS[key](workers=workers, chunk_size=chunk_size)
+    return _BACKENDS[key](
+        workers=workers, chunk_size=chunk_size, map_chunksize=map_chunksize
+    )
 
 
 __all__ = [

@@ -19,10 +19,15 @@ class InlineBackend(ExecutionBackend):
 
     name = "inline"
 
-    def __init__(self, workers: Optional[int] = None, chunk_size: int = 1) -> None:
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        chunk_size: int = 1,
+        map_chunksize: Optional[int] = None,
+    ) -> None:
         # Pool-sizing knobs are meaningless without concurrency; accepted (and
         # ignored) so every registered backend constructs uniformly.
-        del workers, chunk_size
+        del workers, chunk_size, map_chunksize
 
     def run(
         self, plan: CampaignPlan, on_round: Optional[RoundCallback] = None

@@ -75,34 +75,71 @@ class ProcessPoolBackend(ExecutionBackend):
 
     name = "process"
 
-    def __init__(self, workers: Optional[int] = None, chunk_size: int = 1) -> None:
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        chunk_size: int = 1,
+        map_chunksize: Optional[int] = None,
+    ) -> None:
         if workers is not None and workers < 1:
             raise ValueError("workers must be at least 1")
         if chunk_size < 1:
             raise ValueError("chunk_size must be at least 1")
+        if map_chunksize is not None and map_chunksize < 1:
+            raise ValueError("map_chunksize must be at least 1 (or None for adaptive)")
         self.workers = workers
         self.chunk_size = chunk_size
+        self.map_chunksize = map_chunksize
 
     def worker_count(self, instances: int) -> int:
         """Actual number of worker processes used for ``instances`` instances."""
         requested = self.workers if self.workers is not None else (os.cpu_count() or 2)
         return max(1, min(requested, instances))
 
+    def resolve_map_chunksize(self, item_count: int, workers: int) -> int:
+        """Chunk size for ``map_items``: the configured override, else adaptive.
+
+        The adaptive choice targets ~4 chunks per worker: small enough that a
+        long item (e.g. a violation with a slow minimization) doesn't
+        serialise a whole worker's queue behind it, large enough that
+        per-chunk pickling doesn't dominate when items are many and cheap.
+        ``pool.map`` preserves input order regardless of chunking.
+        """
+        if self.map_chunksize is not None:
+            return self.map_chunksize
+        return max(1, item_count // (workers * 4))
+
     def map_items(
         self, fn: Callable[[Any], Any], items: Sequence[Any]
     ) -> List[Any]:
         """Fan independent work items across a process pool, results in order.
 
-        Work items are scheduled one at a time (``chunksize=1``) so long items
-        (e.g. a violation with a slow minimization) don't serialise behind
-        each other.  ``fn`` and the items must be picklable.
+        ``fn`` and the items must be picklable.  Chunking is adaptive (see
+        :meth:`resolve_map_chunksize`) unless ``map_chunksize`` pins it.
         """
         items = list(items)
         if len(items) <= 1:
             return [fn(item) for item in items]
+        workers = self.worker_count(len(items))
+        chunksize = self.resolve_map_chunksize(len(items), workers)
         context = multiprocessing.get_context()
-        with context.Pool(processes=self.worker_count(len(items))) as pool:
-            return pool.map(fn, items, chunksize=1)
+        with context.Pool(processes=workers) as pool:
+            return pool.map(fn, items, chunksize=chunksize)
+
+    def map_simulations(self, tasks: Sequence[Any]) -> List[Any]:
+        """Shard simulation tasks across the persistent sim-worker pool.
+
+        Inside one of this backend's own (daemonic) campaign workers a
+        nested pool is impossible, so the inline fallback runs instead —
+        with identical results, since each task is simulated on a fresh core
+        either way.
+        """
+        from repro.backends import simshard
+
+        if multiprocessing.current_process().daemon or not tasks:
+            return simshard.run_tasks_inline(tasks)
+        workers = self.workers if self.workers is not None else (os.cpu_count() or 2)
+        return simshard.get_pool(max(1, workers)).map(tasks)
 
     def run(
         self, plan: CampaignPlan, on_round: Optional[RoundCallback] = None

@@ -108,6 +108,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="rounds a worker runs for one instance before rotating to its next",
     )
     parser.add_argument(
+        "--sim-workers",
+        type=int,
+        default=None,
+        help="shard each round's contract-equivalence classes across this "
+        "many persistent simulation workers (0: sharded but inline; "
+        "default: unsharded seed execution path); results are identical "
+        "at any setting",
+    )
+    parser.add_argument(
         "--triage",
         action="store_true",
         help="triage confirmed violations: re-validate, minimize, root-cause, dedup",
@@ -189,6 +198,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--backend inline cannot be combined with --workers > 1 or --parallel")
     if args.chunk_size < 1:
         parser.error("--chunk-size must be at least 1")
+    if args.sim_workers is not None and args.sim_workers < 0:
+        parser.error("--sim-workers must be at least 0")
     if args.instances < 1:
         parser.error("--instances must be at least 1")
     if args.triage_workers is not None and args.triage_workers < 1:
@@ -216,6 +227,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         backend=select_backend(args),
         workers=args.workers,
         chunk_size=args.chunk_size,
+        sim_workers=args.sim_workers,
     )
     campaign = Campaign(config, instances=args.instances)
     result = campaign.run()

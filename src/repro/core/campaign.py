@@ -285,6 +285,61 @@ class CampaignResult:
             "wall_clock_percent": _shares(wall_clock),
         }
 
+    def phase_breakdown(self) -> Dict[str, Dict[str, float]]:
+        """Round-pipeline phase wall-clock split, aggregated over instances.
+
+        Sums each instance's ``FuzzerReport.phase_breakdown`` (generate /
+        contract / simulate / detect / ipc) and derives per-phase shares, so
+        artifacts show *which phase* a speedup or regression landed in.
+        """
+        phases: Dict[str, float] = {}
+        for report in self.reports:
+            for phase, seconds in getattr(report, "phase_breakdown", {}).items():
+                phases[phase] = phases.get(phase, 0.0) + seconds
+        total = sum(phases.values())
+        return {
+            "seconds": {phase: round(seconds, 4) for phase, seconds in phases.items()},
+            "percent": {
+                phase: round(100.0 * seconds / total, 1) if total > 0 else 0.0
+                for phase, seconds in phases.items()
+            },
+        }
+
+    def parallel_sim_summary(self) -> Optional[Dict[str, object]]:
+        """Summed intra-round parallel-simulation counters (None if unused)."""
+        reporting = [report for report in self.reports if report.parallel_sim]
+        if not reporting:
+            return None
+        summary: Dict[str, object] = {
+            "requested_workers": reporting[0].parallel_sim.get("requested_workers"),
+            "pooled": any(r.parallel_sim.get("pooled") for r in reporting),
+        }
+        for counter in (
+            "tasks",
+            "pooled_tasks",
+            "roundtrip_seconds",
+            "busy_seconds",
+            "sent_bytes",
+            "result_bytes",
+            "fetch_bytes",
+            "fetched_entries",
+        ):
+            values = [r.parallel_sim.get(counter) for r in reporting]
+            values = [value for value in values if value is not None]
+            if values:
+                total = sum(values)
+                summary[counter] = round(total, 6) if isinstance(total, float) else total
+        reasons = sorted(
+            {
+                r.parallel_sim["fallback_reason"]
+                for r in reporting
+                if "fallback_reason" in r.parallel_sim
+            }
+        )
+        if reasons:
+            summary["fallback_reasons"] = reasons
+        return summary
+
     def as_table_row(self) -> Dict[str, object]:
         """The Table-4 style summary row for this campaign."""
         detection = self.average_detection_seconds()
@@ -358,6 +413,7 @@ class CampaignResult:
             "effective_throughput_per_second": round(self.effective_throughput(), 2),
             "modeled_seconds": round(self.modeled_seconds(), 3),
             "time_breakdown": self.time_breakdown(),
+            "phase_breakdown": self.phase_breakdown(),
             "feedback": self.feedback_summary(),
             "violation_groups": [
                 {
@@ -379,6 +435,9 @@ class CampaignResult:
                 for report in self.reports
             ],
         }
+        parallel_sim = self.parallel_sim_summary()
+        if parallel_sim is not None:
+            payload["parallel_sim"] = parallel_sim
         if self.triage is not None:
             payload["triage"] = self.triage.to_json_dict()
         return payload
@@ -436,7 +495,10 @@ class Campaign:
         if name is None:
             name = "process" if parallel else self.config.backend
         return get_backend(
-            name, workers=self.config.workers, chunk_size=self.config.chunk_size
+            name,
+            workers=self.config.workers,
+            chunk_size=self.config.chunk_size,
+            map_chunksize=self.config.map_chunksize,
         )
 
     def run(

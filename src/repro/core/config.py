@@ -96,6 +96,17 @@ class FuzzerConfig:
     #: Rounds a pooled worker runs for one instance before rotating to its
     #: next instance and re-checking the campaign-wide cancellation flag.
     chunk_size: int = 1
+    #: Work items per chunk for backend ``map_items`` fan-out (triage).
+    #: None (the default) sizes chunks adaptively from item count / workers.
+    map_chunksize: Optional[int] = None
+    #: Intra-round parallel simulation (see :mod:`repro.backends.simshard`).
+    #: ``None`` (the default) keeps the seed execution path: one shared
+    #: simulator per program, entries in plan order.  ``0`` shards each
+    #: round's contract-equivalence classes but runs them inline (one fresh
+    #: simulator per class, no processes).  ``>= 1`` shards them across that
+    #: many persistent worker processes with compact trace transport.
+    #: Results are byte-identical across every sharded setting.
+    sim_workers: Optional[int] = None
 
     @property
     def base_inputs_per_program(self) -> int:

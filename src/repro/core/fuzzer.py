@@ -13,6 +13,7 @@ deduplication signature.
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
@@ -26,7 +27,12 @@ from repro.core.testcase import TestCase
 from repro.core.violation import Violation
 from repro.defenses.registry import create_defense, defense_class
 from repro.executor.executor import ExecutionMode, SimulatorExecutor
-from repro.executor.startup import CONTRACT_TRACES, OTHERS, TEST_GENERATION
+from repro.executor.startup import (
+    CONTRACT_TRACES,
+    IPC_TRANSPORT,
+    OTHERS,
+    TEST_GENERATION,
+)
 from repro.feedback.corpus import Corpus, CorpusEntry
 from repro.feedback.coverage import CoverageTracker
 from repro.feedback.mutate import ProgramMutator
@@ -38,6 +44,13 @@ from repro.generator.sandbox import Sandbox
 from repro.isa.specialized import stats_snapshot
 from repro.model.contracts import get_contract
 from repro.model.emulator import Emulator
+
+
+#: Process-unique keys identifying one instance-round's program to the
+#: contract-pass workers (their emulator cache key; see ``ContractTask``).
+#: A shared counter — never per-instance indices — so interleaved fuzzing
+#: instances with identical specs can not alias each other's programs.
+_ROUND_KEYS = itertools.count(1)
 
 
 @dataclass
@@ -98,6 +111,17 @@ class FuzzerReport:
     #: show where the time went, not just totals.
     modeled_breakdown: Dict[str, float] = field(default_factory=dict)
     wall_clock_breakdown: Dict[str, float] = field(default_factory=dict)
+    #: Wall-clock seconds per round-pipeline phase ("generate", "contract",
+    #: "simulate", "detect", "ipc"), measured around the phases themselves —
+    #: this is where a speedup (or a regression) is attributable.  "ipc" is
+    #: the parallel layer's transport/stitching overhead; zero on the seed
+    #: path.
+    phase_breakdown: Dict[str, float] = field(default_factory=dict)
+    #: Intra-round parallel-simulation counters (empty when ``sim_workers``
+    #: is None): tasks dispatched, pooled vs inline, transport bytes, and
+    #: per-task worker busy seconds (benchmarks derive multi-worker makespan
+    #: projections from the latter).
+    parallel_sim: Dict[str, object] = field(default_factory=dict)
     #: Specialization-cache counters accumulated while this instance ran
     #: (``cache_hits`` / ``cache_misses`` / ``compile_seconds`` /
     #: ``fallbacks``); all zero when the instance ran with
@@ -186,6 +210,24 @@ class AmuletFuzzer:
         self.detector = ViolationDetector(config.defense, self.contract_name)
         self.scheduler = ExecutionScheduler(config.filter)
 
+        # Intra-round parallel simulation (inactive when sim_workers is None:
+        # the seed path above is the only executor).  Imported lazily — the
+        # backends package imports this module.
+        from repro.backends.simshard import ContractSpec, ExecutorSpec, SimulationRouter
+
+        self.sim_router = SimulationRouter(config.sim_workers)
+        self._executor_spec = ExecutorSpec.from_fuzzer_config(
+            config, sandbox_pages=self.sandbox.pages
+        )
+        self._contract_spec = ContractSpec(
+            contract=self.contract_name,
+            sandbox_pages=self.sandbox.pages,
+            specialize=config.specialize,
+            boost_factor=config.boost_factor,
+            generator_seed=config.seed,
+        )
+        self._next_task_id = 0
+
         self._start_time: Optional[float] = None
         self._stopped = False
         self._target_programs: Optional[int] = None
@@ -206,9 +248,9 @@ class AmuletFuzzer:
         round_program = self.program_source.next_program()
         program = round_program.program
         self.executor.time.charge_test_generation()
-        self.executor.time.add_wall_clock(
-            TEST_GENERATION, time.perf_counter() - generation_started
-        )
+        generation_elapsed = time.perf_counter() - generation_started
+        self.executor.time.add_wall_clock(TEST_GENERATION, generation_elapsed)
+        self._charge_phase("generate", generation_elapsed)
 
         test_case = self._build_test_case(program, round_program.seed_inputs)
         # Partition into contract-equivalence classes up front and simulate
@@ -216,19 +258,34 @@ class AmuletFuzzer:
         # fully skipped round never starts a simulator (in Opt mode that is
         # the per-program gem5-startup charge).
         plan = self.scheduler.plan(test_case)
+        round_task_ids: List[int] = []
         if plan.executable:
-            self.executor.load_program(program)
-            records = self.executor.run_batch(
-                [entry.test_input for entry in plan.executable]
-            )
-            for entry, record in zip(plan.executable, records):
-                entry.record = record
+            if self.sim_router.active:
+                round_task_ids = self._simulate_sharded(program, plan)
+            else:
+                simulate_started = time.perf_counter()
+                self.executor.load_program(program)
+                records = self.executor.run_batch(
+                    [entry.test_input for entry in plan.executable]
+                )
+                for entry, record in zip(plan.executable, records):
+                    entry.record = record
+                self._charge_phase(
+                    "simulate", time.perf_counter() - simulate_started
+                )
         skip_counts = plan.skip_counts()
         if skip_counts:
             self.executor.record_skips(skip_counts)
         self.executor.time.charge_other()
 
-        violations = self.detector.detect(test_case, classes=plan.classes)
+        detect_started = time.perf_counter()
+        violations = self.detector.detect(
+            test_case, classes=plan.classes, materialize=self._materialize_witnesses
+        )
+        if violations and round_task_ids:
+            # Validation re-runs witness pairs on the instance executor, which
+            # never loaded this round's program on the sharded path.
+            self.executor.load_program(program)
         confirmed: List[Violation] = []
         for violation in violations:
             violation.record_provenance(self.executor, patched=config.patched)
@@ -240,6 +297,7 @@ class AmuletFuzzer:
             if config.analyze_violations:
                 violation.signature = compute_signature(violation)
             confirmed.append(violation)
+        self._charge_phase("detect", time.perf_counter() - detect_started)
 
         # Coverage feedback: hash the round's behavior features into the map
         # and feed novelty (and any violation witness) back into the corpus,
@@ -255,6 +313,10 @@ class AmuletFuzzer:
             violation=bool(confirmed),
             input_pair=witness,
         )
+        if round_task_ids:
+            # The round is fully consumed; let workers drop the full records
+            # they were holding for the second-pass fetch.
+            self.sim_router.release(round_task_ids)
 
         self.report.programs_tested += 1
         self.report.test_cases_generated += len(test_case)
@@ -323,6 +385,71 @@ class AmuletFuzzer:
         return self.report
 
     # -- internals ----------------------------------------------------------------------
+    def _charge_phase(self, phase: str, seconds: float) -> None:
+        self.report.phase_breakdown[phase] = (
+            self.report.phase_breakdown.get(phase, 0.0) + seconds
+        )
+
+    def _simulate_sharded(self, program, plan) -> List[int]:
+        """Fan the plan's contract-equivalence classes through the sim router.
+
+        The classes are merged into a fixed number of contiguous chunks
+        (:func:`~repro.backends.simshard.chunk_classes` — a function of the
+        plan alone, never of the worker count); each chunk becomes one
+        self-contained :class:`SimulationTask` simulated on a fresh core
+        wherever it lands, outcomes come back in task order, and the records
+        are stitched onto the plan's entries in place — so detection,
+        coverage and corpus results are byte-identical whatever the worker
+        count.  Worker time deltas are folded into this instance's ledgers;
+        the dispatch round-trip minus the workers' busy time is charged as
+        IPC transport.  Returns the round's task ids (the workers hold full
+        records for them until released).
+        """
+        from repro.backends.simshard import SimulationTask, chunk_classes
+
+        chunks = chunk_classes(plan.executable_classes())
+        tasks: List[SimulationTask] = []
+        for entries in chunks:
+            tasks.append(
+                SimulationTask(
+                    task_id=self._next_task_id,
+                    spec=self._executor_spec,
+                    program=program,
+                    inputs=tuple(entry.test_input for entry in entries),
+                )
+            )
+            self._next_task_id += 1
+        dispatch_started = time.perf_counter()
+        outcomes = self.sim_router.map(tasks)
+        roundtrip = time.perf_counter() - dispatch_started
+        busy = 0.0
+        for entries, outcome in zip(chunks, outcomes):
+            for entry, record in zip(entries, outcome.records):
+                entry.record = record
+            for component, seconds in outcome.modeled_seconds.items():
+                self.executor.time.charge(component, seconds)
+            for component, seconds in outcome.wall_clock_seconds.items():
+                self.executor.time.add_wall_clock(component, seconds)
+            self.executor.simulator_starts += outcome.simulator_starts
+            self.executor.test_cases_executed += len(outcome.records)
+            busy += outcome.busy_seconds()
+        ipc = max(0.0, roundtrip - busy)
+        self.executor.time.add_wall_clock(IPC_TRANSPORT, ipc)
+        self._charge_phase("simulate", busy)
+        self._charge_phase("ipc", ipc)
+        return [task.task_id for task in tasks]
+
+    def _materialize_witnesses(self, entries) -> None:
+        """Detector hook: swap compact witness records for full ones.
+
+        On the compact transport path the detector grouped entries by trace
+        digest; the entries it promotes to violation witnesses need their
+        real traces and predictor contexts, which still live in the worker
+        that simulated them.  A no-op for full (inline) records.
+        """
+        if self.sim_router.pooled:
+            self.sim_router.materialize_entries(entries)
+
     def _build_test_case(
         self, program, seed_inputs: Sequence[Input] = ()
     ) -> TestCase:
@@ -332,9 +459,14 @@ class AmuletFuzzer:
         the first base-input slots; the remainder are generated as usual and
         every base input — seeded or fresh — is boosted identically.  Seed
         inputs sized for a different sandbox are ignored.
+
+        Base inputs are always drawn in the calling process (the generator
+        stream is instance state); the per-base emulation and boosting is
+        sharded through the sim router when it is active.  Both paths
+        produce identical entries: base inputs are counter-seeded and
+        variant derivation is seeded purely by the base input's fingerprint.
         """
         config = self.config
-        emulator = Emulator(program, self.sandbox, specialize=config.specialize)
         test_case = TestCase(program=program)
         contract_started = time.perf_counter()
         usable_seeds = [
@@ -342,37 +474,101 @@ class AmuletFuzzer:
             for seed_input in seed_inputs
             if len(seed_input.memory) == self.sandbox.size
         ]
-        for base_index in range(config.base_inputs_per_program):
+        if self.sim_router.active:
+            ipc = self._collect_traces_sharded(program, usable_seeds, test_case)
+        else:
+            ipc = 0.0
+            base_inputs: List[Input] = []
+            for base_index in range(config.base_inputs_per_program):
+                if base_index < len(usable_seeds):
+                    base_inputs.append(usable_seeds[base_index])
+                else:
+                    base_inputs.append(self.input_generator.generate_one())
+            emulator = Emulator(program, self.sandbox, specialize=config.specialize)
+            for base_index, base_input in enumerate(base_inputs):
+                model_result = emulator.run(base_input, self.contract)
+                base_entry = test_case.add(
+                    base_input, model_result.trace, speculation=model_result.speculation
+                )
+                variants = self.input_generator.mutate_preserving(
+                    base_input,
+                    model_result.relevant_labels,
+                    count=config.boost_factor,
+                    salt=base_index,
+                )
+                # All boosted variants of a base input share the emulator's
+                # compiled runner and sandbox buffer (batched multi-input round).
+                for variant, variant_result in zip(
+                    variants, emulator.collect_traces_batch(variants, self.contract)
+                ):
+                    test_case.add(
+                        variant,
+                        variant_result.trace,
+                        boosted_from=base_entry.index,
+                        speculation=variant_result.speculation,
+                    )
+        elapsed = time.perf_counter() - contract_started
+        self.executor.time.charge_contract_traces(len(test_case))
+        self.executor.time.add_wall_clock(CONTRACT_TRACES, elapsed - ipc)
+        self._charge_phase("contract", elapsed - ipc)
+        if ipc:
+            self.executor.time.add_wall_clock(IPC_TRANSPORT, ipc)
+            self._charge_phase("ipc", ipc)
+        return test_case
+
+    def _collect_traces_sharded(
+        self, program, usable_seeds: Sequence[Input], test_case: TestCase
+    ) -> float:
+        """Fan the contract pass's base inputs through the sim router.
+
+        One :class:`ContractTask` per base input (its generation, leakage-
+        model run, and boosted-variant derivation), stitched back in
+        base-input order, so the test case is identical to the
+        single-process loop whatever the worker count.  Fresh base inputs
+        travel as stream counters — the generator stream advances here, but
+        the sandbox image is materialized by whichever worker runs the task.
+        Returns the dispatch round-trip seconds not covered by worker busy
+        time (charged to IPC by the caller).
+        """
+        from repro.backends.simshard import ContractTask
+
+        program_key = next(_ROUND_KEYS)
+        tasks: List[ContractTask] = []
+        for base_index in range(self.config.base_inputs_per_program):
             if base_index < len(usable_seeds):
-                base_input = usable_seeds[base_index]
+                base_input, base_counter = usable_seeds[base_index], None
             else:
-                base_input = self.input_generator.generate_one()
-            model_result = emulator.run(base_input, self.contract)
+                base_input, base_counter = None, self.input_generator.reserve_counter()
+            tasks.append(
+                ContractTask(
+                    task_id=self._next_task_id,
+                    spec=self._contract_spec,
+                    program_key=program_key,
+                    program=program,
+                    base_index=base_index,
+                    base_input=base_input,
+                    base_counter=base_counter,
+                )
+            )
+            self._next_task_id += 1
+        dispatch_started = time.perf_counter()
+        outcomes = self.sim_router.map_contract(tasks)
+        roundtrip = time.perf_counter() - dispatch_started
+        busy = 0.0
+        for outcome in outcomes:
             base_entry = test_case.add(
-                base_input, model_result.trace, speculation=model_result.speculation
+                outcome.base_input,
+                outcome.base_trace,
+                speculation=outcome.base_speculation,
             )
-            variants = self.input_generator.mutate_preserving(
-                base_input,
-                model_result.relevant_labels,
-                count=config.boost_factor,
-                salt=base_index,
-            )
-            # All boosted variants of a base input share the emulator's
-            # compiled runner and sandbox buffer (batched multi-input round).
-            for variant, variant_result in zip(
-                variants, emulator.collect_traces_batch(variants, self.contract)
+            for variant, trace, profile in zip(
+                outcome.variants, outcome.variant_traces, outcome.variant_speculations
             ):
                 test_case.add(
-                    variant,
-                    variant_result.trace,
-                    boosted_from=base_entry.index,
-                    speculation=variant_result.speculation,
+                    variant, trace, boosted_from=base_entry.index, speculation=profile
                 )
-        self.executor.time.charge_contract_traces(len(test_case))
-        self.executor.time.add_wall_clock(
-            CONTRACT_TRACES, time.perf_counter() - contract_started
-        )
-        return test_case
+            busy += outcome.busy_seconds()
+        return max(0.0, roundtrip - busy)
 
     def _validate(self, violation: Violation) -> bool:
         """Re-run the violating pair from shared micro-architectural contexts.
@@ -424,6 +620,8 @@ class AmuletFuzzer:
         self.report.modeled_seconds = self.executor.time.total_modeled()
         self.report.modeled_breakdown = dict(self.executor.time.modeled_seconds)
         self.report.wall_clock_breakdown = dict(self.executor.time.wall_clock_seconds)
+        if self.sim_router.active:
+            self.report.parallel_sim = self.sim_router.stats()
         current = stats_snapshot()
         start = self._spec_stats_start
         self.report.specialization = {

@@ -14,6 +14,7 @@ enough for relational testing to find violations.
 from __future__ import annotations
 
 import hashlib
+import pickle
 import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence, Set, Tuple
@@ -55,6 +56,21 @@ class Input:
         ordered = tuple(sorted((name, value & MASK64) for name, value in registers.items()))
         return Input(registers=ordered, memory=bytes(memory), seed=seed)
 
+    def __reduce_ex__(self, protocol):
+        if protocol >= 5:
+            # The sandbox image dominates an input's size; advertising it as
+            # a PickleBuffer lets protocol-5 picklers with a buffer_callback
+            # (the simulation-shard transport) carry it out of band instead
+            # of copying it through the opcode stream.  Without a callback
+            # the buffer is serialized in band — same bytes restored either
+            # way, and protocol <= 4 (the default everywhere else) takes the
+            # ordinary dataclass path.
+            return (
+                _input_from_wire,
+                (self.registers, pickle.PickleBuffer(self.memory), self.seed),
+            )
+        return super().__reduce_ex__(protocol)
+
     def register_dict(self) -> Dict[str, int]:
         return dict(self.registers)
 
@@ -80,6 +96,16 @@ class Input:
 
     def __len__(self) -> int:
         return len(self.memory)
+
+
+def _input_from_wire(registers, memory, seed) -> Input:
+    """Rebuild an :class:`Input` from its protocol-5 wire form.
+
+    ``memory`` arrives as whatever buffer object the unpickler hands back (a
+    ``PickleBuffer`` in band, the raw out-of-band buffer otherwise); both
+    support the buffer protocol, so one ``bytes()`` restores the invariant.
+    """
+    return Input(registers=registers, memory=bytes(memory), seed=seed)
 
 
 class InputGenerator:
@@ -114,10 +140,29 @@ class InputGenerator:
             return rng.getrandbits(4)
         return rng.getrandbits(bits)
 
+    def reserve_counter(self) -> int:
+        """Advance the stream without generating: claim the next counter.
+
+        ``generate_at(reserve_counter())`` equals ``generate_one()`` — the
+        split lets a coordinator hand the (expensive, for large sandboxes)
+        materialization of an input to a worker process while keeping the
+        stream position, which is instance state, in one place.
+        """
+        self._counter += 1
+        return self._counter
+
     def generate_one(self) -> Input:
         """Generate the next input in the seeded stream."""
-        self._counter += 1
-        rng = random.Random((self.seed << 20) ^ self._counter)
+        return self.generate_at(self.reserve_counter())
+
+    def generate_at(self, counter: int) -> Input:
+        """Materialize the stream's input for ``counter`` (a pure function).
+
+        Every input is seeded by ``(seed, counter)`` alone, so any generator
+        constructed with the same seed and sandbox produces bit-identical
+        inputs for the same counter — in any process, in any order.
+        """
+        rng = random.Random((self.seed << 20) ^ counter)
         registers = {
             name: self._random_value(rng, self.register_value_bits)
             for name in INPUT_REGISTERS
@@ -148,7 +193,7 @@ class InputGenerator:
                 memory[offset : offset + MEMORY_GRANULE] = word.to_bytes(
                     MEMORY_GRANULE, "little"
                 )
-        return Input.create(registers, bytes(memory), seed=self._counter)
+        return Input.create(registers, bytes(memory), seed=counter)
 
     def generate(self, count: int) -> List[Input]:
         """Generate ``count`` fresh inputs."""

@@ -1,0 +1,488 @@
+"""Tests for the intra-round parallel simulation layer (simshard).
+
+Covers the determinism contract — identical violations, signatures, corpus
+contents and coverage bitmaps across ``sim_workers`` settings (unsharded /
+sharded-inline / pooled at several widths) for every defense — plus the
+compact wire format (trace digests, protocol-5 out-of-band input buffers,
+digest-then-materialize second pass), the adaptive ``map_items`` chunking,
+and worker-process hygiene after campaign-wide cancellation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.backends import InlineBackend, ProcessPoolBackend, get_backend
+from repro.backends import simshard
+from repro.backends.simshard import (
+    DigestTrace,
+    ExecutorSpec,
+    RemoteRecord,
+    SimulationRouter,
+    SimulationTask,
+    dumps_oob,
+    loads_oob,
+    run_tasks_inline,
+)
+from repro.core import Campaign, FuzzerConfig
+from repro.core.detector import ViolationDetector
+from repro.core.filtering import unique_violations
+from repro.core.fuzzer import AmuletFuzzer
+from repro.core.scheduler import ExecutionScheduler
+from repro.defenses.registry import available_defenses
+from repro.executor.executor import ExecutionMode, SimulatorExecutor
+from repro.executor.traces import UarchTrace, trace_digest
+from repro.generator.inputs import Input, InputGenerator
+from repro.generator.program_generator import ProgramGenerator
+from repro.generator.sandbox import Sandbox
+from repro.model.contracts import get_contract
+from repro.model.emulator import Emulator
+
+
+@pytest.fixture(autouse=True)
+def _clean_pool():
+    """Every test starts and ends without a lingering persistent pool."""
+    simshard.shutdown_pool()
+    yield
+    simshard.shutdown_pool()
+
+
+def _campaign_fingerprint(result):
+    """Everything the determinism contract promises, in comparable form."""
+    coverage = result.merged_coverage()
+    return {
+        "violations": result.violation_count(),
+        "signatures": sorted(
+            str(signature) for signature in unique_violations(result.violations)
+        ),
+        "witnesses": sorted(
+            (violation.input_a.fingerprint(), violation.input_b.fingerprint())
+            for violation in result.violations
+        ),
+        "test_cases": result.total_test_cases,
+        "corpus_ids": sorted(result.merged_corpus().entry_ids()),
+        "coverage_bitmap": bytes(coverage.bitmap) if coverage else None,
+        "coverage_counters": result.coverage_counters(),
+    }
+
+
+def _run_campaign(defense, sim_workers, **overrides):
+    config = FuzzerConfig(
+        defense=defense,
+        programs_per_instance=overrides.pop("programs", 2),
+        inputs_per_program=overrides.pop("inputs", 7),
+        seed=overrides.pop("seed", 3),
+        sim_workers=sim_workers,
+        **overrides,
+    )
+    return Campaign(config, instances=1).run()
+
+
+def _make_tasks(defense="baseline", programs=2, inputs=6, seed=5):
+    """Deterministic simulation tasks straight from the round pipeline."""
+    config = FuzzerConfig(
+        defense=defense,
+        programs_per_instance=programs,
+        inputs_per_program=inputs,
+        boost_factor=2,
+        seed=seed,
+    )
+    fuzzer = AmuletFuzzer(config)
+    spec = ExecutorSpec.from_fuzzer_config(config, sandbox_pages=fuzzer.sandbox.pages)
+    tasks = []
+    task_id = 0
+    for _ in range(programs):
+        program = fuzzer.program_source.next_program().program
+        test_case = fuzzer._build_test_case(program)
+        plan = fuzzer.scheduler.plan(test_case)
+        for entries in plan.executable_classes():
+            tasks.append(
+                SimulationTask(
+                    task_id=task_id,
+                    spec=spec,
+                    program=program,
+                    inputs=tuple(entry.test_input for entry in entries),
+                )
+            )
+            task_id += 1
+    return tasks
+
+
+class TestTraceDigest:
+    def _trace(self, payload):
+        return UarchTrace(components=(("l1d", payload),))
+
+    def test_equal_traces_share_a_digest(self):
+        assert trace_digest(self._trace(((1, 2),))) == trace_digest(
+            self._trace(((1, 2),))
+        )
+
+    def test_different_traces_differ(self):
+        assert trace_digest(self._trace(((1, 2),))) != trace_digest(
+            self._trace(((1, 3),))
+        )
+
+    def test_digest_is_stable_across_pickling(self):
+        trace = self._trace(((4, 5), (6, 7)))
+        clone = pickle.loads(pickle.dumps(trace))
+        assert trace_digest(clone) == trace_digest(trace)
+
+    def test_digest_trace_groups_like_the_digest(self):
+        a = DigestTrace(b"x" * 16)
+        b = DigestTrace(b"x" * 16)
+        c = DigestTrace(b"y" * 16)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert len({a, b, c}) == 2
+
+    def test_digest_trace_never_equals_a_full_trace(self):
+        trace = self._trace(((1,),))
+        assert DigestTrace(trace_digest(trace)) != trace
+
+
+class TestProtocol5Transport:
+    def _input(self, pages=2):
+        sandbox = Sandbox(pages=pages)
+        return InputGenerator(sandbox, seed=9).generate_one()
+
+    def test_default_protocol_round_trip_unchanged(self):
+        test_input = self._input()
+        clone = pickle.loads(pickle.dumps(test_input))
+        assert clone == test_input
+        assert isinstance(clone.memory, bytes)
+
+    def test_protocol5_in_band_round_trip(self):
+        test_input = self._input()
+        clone = pickle.loads(pickle.dumps(test_input, protocol=5))
+        assert clone == test_input
+        assert isinstance(clone.memory, bytes)
+
+    def test_out_of_band_buffers_carry_the_sandbox_image(self):
+        test_input = self._input()
+        payload, buffers = dumps_oob([test_input])
+        # The sandbox image must have left the opcode stream.
+        assert buffers and sum(len(buffer) for buffer in buffers) >= len(
+            test_input.memory
+        )
+        assert len(payload) < len(test_input.memory)
+        (clone,) = loads_oob(payload, buffers)
+        assert clone == test_input
+        assert isinstance(clone.memory, bytes)
+
+    def test_oob_round_trips_whole_tasks(self):
+        tasks = _make_tasks(programs=1)
+        payload, buffers = dumps_oob(tasks)
+        clones = loads_oob(payload, buffers)
+        assert [clone.task_id for clone in clones] == [task.task_id for task in tasks]
+        assert clones[0].inputs == tasks[0].inputs
+        assert clones[0].spec == tasks[0].spec
+
+
+class TestAdaptiveMapChunksize:
+    def test_adaptive_targets_four_chunks_per_worker(self):
+        backend = ProcessPoolBackend(workers=2)
+        assert backend.resolve_map_chunksize(64, 2) == 8
+        assert backend.resolve_map_chunksize(8, 2) == 1
+
+    def test_override_pins_the_chunksize(self):
+        backend = ProcessPoolBackend(workers=2, map_chunksize=3)
+        assert backend.resolve_map_chunksize(64, 2) == 3
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(map_chunksize=0)
+
+    def test_get_backend_threads_the_override(self):
+        backend = get_backend("process", workers=2, map_chunksize=5)
+        assert backend.map_chunksize == 5
+        # The inline backend accepts and ignores it.
+        assert isinstance(
+            get_backend("inline", map_chunksize=5), InlineBackend
+        )
+
+    def test_mixed_duration_items_return_in_input_order(self):
+        # Long and short items interleaved: whatever the chunking, pool.map
+        # must stitch results back in input order.
+        items = [30, 0, 25, 1, 20, 2, 15, 3, 10, 4, 5, 6]
+        inline = InlineBackend().map_items(_busy_then_echo, items)
+        for map_chunksize in (None, 1, 4):
+            pooled = ProcessPoolBackend(
+                workers=2, map_chunksize=map_chunksize
+            ).map_items(_busy_then_echo, items)
+            assert pooled == inline == items
+
+
+def _busy_then_echo(value):
+    """Module-level so the process pool can pickle it; busy-waits ~value*0.1ms."""
+    total = 0
+    for i in range(value * 100):
+        total += i
+    del total
+    return value
+
+
+class TestInlineSharding:
+    def test_inline_matches_unsharded_executor_in_naive_mode(self):
+        # In Naive mode the seed path already starts a fresh core per input,
+        # so sharded execution must be byte-identical, record for record.
+        tasks = _make_tasks()
+        naive_tasks = [
+            dataclasses.replace(
+                task, spec=dataclasses.replace(task.spec, mode="naive")
+            )
+            for task in tasks
+        ]
+        outcomes = run_tasks_inline(naive_tasks)
+        for task, outcome in zip(naive_tasks, outcomes):
+            executor = task.spec.build_executor()
+            executor.load_program(task.program)
+            records = executor.run_batch(list(task.inputs))
+            assert [r.trace for r in records] == [
+                record.trace for record in outcome.records
+            ]
+            assert [r.result.stats for r in records] == [
+                record.result.stats for record in outcome.records
+            ]
+
+    def test_executor_cache_is_reused_across_tasks(self):
+        tasks = _make_tasks(programs=2)
+        executors = {}
+        run_tasks_inline(tasks, executors)
+        assert len(executors) == 1  # one spec -> one cached executor
+
+    def test_base_backend_map_simulations_is_the_inline_fallback(self):
+        tasks = _make_tasks(programs=1)
+        outcomes = InlineBackend().map_simulations(tasks)
+        assert [outcome.task_id for outcome in outcomes] == [
+            task.task_id for task in tasks
+        ]
+        assert all(not outcome.pooled for outcome in outcomes)
+
+
+class TestPooledSharding:
+    def test_pooled_outcomes_match_inline_digests_and_stats(self):
+        tasks = _make_tasks()
+        inline = run_tasks_inline(tasks)
+        pool = simshard.get_pool(2)
+        pooled = pool.map(tasks)
+        assert [outcome.task_id for outcome in pooled] == [
+            task.task_id for task in tasks
+        ]
+        for inline_outcome, pooled_outcome in zip(inline, pooled):
+            assert [
+                trace_digest(record.trace) for record in inline_outcome.records
+            ] == [record.trace.digest for record in pooled_outcome.records]
+            assert [record.result.stats for record in inline_outcome.records] == [
+                record.result.stats for record in pooled_outcome.records
+            ]
+            assert (
+                pooled_outcome.simulator_starts == inline_outcome.simulator_starts
+            )
+
+    def test_fetch_materializes_full_records(self):
+        tasks = _make_tasks(programs=1)
+        inline = run_tasks_inline(tasks)
+        pool = simshard.get_pool(2)
+        pooled = pool.map(tasks)
+        record = pooled[0].records[0]
+        assert isinstance(record, RemoteRecord) and record.pending
+        full = pool.fetch(tasks[0].task_id, [0, 1])
+        record.apply_full(full[0])
+        assert not record.pending
+        assert record.trace == inline[0].records[0].trace
+        assert isinstance(record.uarch_context, dict)
+        pool.release([task.task_id for task in tasks])
+
+    def test_compact_results_are_smaller_than_full_records(self):
+        tasks = _make_tasks(programs=1)
+        inline = run_tasks_inline(tasks)
+        pool = simshard.get_pool(1)
+        pooled = pool.map(tasks)
+        full_bytes = len(
+            pickle.dumps([outcome.records for outcome in inline], protocol=5)
+        )
+        compact_bytes = sum(outcome.compact_bytes for outcome in pooled)
+        assert 0 < compact_bytes < full_bytes
+
+    def test_pool_resizes_on_demand(self):
+        first = simshard.get_pool(1)
+        assert simshard.get_pool(1) is first
+        second = simshard.get_pool(2)
+        assert second is not first and second.workers == 2
+
+
+class TestSimulationRouter:
+    def test_semantics_none_zero_pool(self):
+        assert not SimulationRouter(None).active
+        zero = SimulationRouter(0)
+        assert zero.active and not zero.pooled
+        pooled = SimulationRouter(2)
+        assert pooled.active and pooled.pooled
+        with pytest.raises(ValueError):
+            SimulationRouter(-1)
+
+    def test_force_inline_env_downgrades(self, monkeypatch):
+        monkeypatch.setenv(simshard.FORCE_INLINE_ENV, "1")
+        router = SimulationRouter(4)
+        assert router.active and not router.pooled
+        assert router.fallback_reason
+
+    def test_materialize_ignores_full_records(self):
+        # Inline records are already full; the hook must be a no-op.
+        router = SimulationRouter(0)
+        tasks = _make_tasks(programs=1)
+        outcomes = router.map(tasks)
+
+        class Entry:
+            def __init__(self, record):
+                self.record = record
+
+        router.materialize_entries([Entry(outcomes[0].records[0])])
+
+
+class TestDetectorMaterializeHook:
+    def test_hook_runs_on_witnesses_before_violation_is_built(self):
+        # Build a round inline, then replay detection with digest stand-ins
+        # and a hook that swaps the full records back in: the violations
+        # must match a straight full-record detection.
+        config = FuzzerConfig(
+            defense="baseline", programs_per_instance=1, inputs_per_program=7, seed=3
+        )
+        fuzzer = AmuletFuzzer(config)
+        program = fuzzer.program_source.next_program().program
+        test_case = fuzzer._build_test_case(program)
+        plan = fuzzer.scheduler.plan(test_case)
+        fuzzer.executor.load_program(program)
+        records = fuzzer.executor.run_batch(
+            [entry.test_input for entry in plan.executable]
+        )
+        for entry, record in zip(plan.executable, records):
+            entry.record = record
+        detector = ViolationDetector("baseline", fuzzer.contract_name)
+        expected = detector.detect(test_case, classes=plan.classes)
+
+        full_records = {entry.index: entry.record for entry in plan.executable}
+        for entry in plan.executable:
+            entry.record = _DigestOnlyRecord(entry.record)
+        materialized = []
+
+        def hook(entries):
+            for entry in entries:
+                materialized.append(entry.index)
+                entry.record = full_records[entry.index]
+
+        hooked = detector.detect(test_case, classes=plan.classes, materialize=hook)
+        assert len(hooked) == len(expected)
+        for a, b in zip(hooked, expected):
+            assert a.trace_a == b.trace_a and a.trace_b == b.trace_b
+            assert a.violating_input_count == b.violating_input_count
+        if expected:
+            assert materialized  # the hook actually ran on the witnesses
+
+
+class _DigestOnlyRecord:
+    """An ExecutionRecord reduced to its digest (test stand-in)."""
+
+    def __init__(self, record):
+        self.trace = DigestTrace(trace_digest(record.trace))
+        self.result = record.result
+        self.uarch_context = None
+
+
+class TestRoundEquivalence:
+    """Same seeds -> identical results across --sim-workers {0,2,4}."""
+
+    @pytest.mark.parametrize("defense", sorted(available_defenses()))
+    def test_all_defenses_agree_across_worker_counts(self, defense):
+        fingerprints = {
+            workers: _campaign_fingerprint(_run_campaign(defense, workers))
+            for workers in (0, 2, 4)
+        }
+        assert fingerprints[0] == fingerprints[2] == fingerprints[4]
+
+    def test_sharded_matches_seed_path_detections(self):
+        # The unsharded default carries predictor state across an Opt-mode
+        # program's inputs while sharding gives each class a fresh core, so
+        # traces need not be byte-identical — but validated violations,
+        # signatures and corpus program ids must agree on this workload.
+        default = _campaign_fingerprint(_run_campaign("baseline", None, programs=4))
+        sharded = _campaign_fingerprint(_run_campaign("baseline", 0, programs=4))
+        assert default["signatures"] == sharded["signatures"]
+        assert default["violations"] == sharded["violations"]
+        assert default["test_cases"] == sharded["test_cases"]
+        assert default["corpus_ids"] == sharded["corpus_ids"]
+
+    def test_naive_mode_sharding_is_byte_identical_to_seed_path(self):
+        kwargs = {"mode": ExecutionMode.NAIVE, "programs": 2}
+        default = _campaign_fingerprint(_run_campaign("baseline", None, **kwargs))
+        sharded = _campaign_fingerprint(_run_campaign("baseline", 0, **kwargs))
+        assert default == sharded
+
+    def test_sharding_composes_with_filtering(self):
+        kwargs = {"filter": "speculation", "boost_factor": 0, "inputs": 8}
+        fingerprints = [
+            _campaign_fingerprint(_run_campaign("baseline", workers, **kwargs))
+            for workers in (0, 2)
+        ]
+        assert fingerprints[0] == fingerprints[1]
+
+    def test_phase_breakdown_reports_the_split(self):
+        result = _run_campaign("baseline", 2)
+        phases = result.phase_breakdown()["seconds"]
+        assert {"generate", "contract", "simulate", "detect", "ipc"} <= set(phases)
+        summary = result.parallel_sim_summary()
+        assert summary["pooled"] and summary["tasks"] > 0
+        assert summary["result_bytes"] > 0
+        payload = result.to_json_dict()
+        assert payload["phase_breakdown"]["seconds"]
+        assert payload["parallel_sim"]["tasks"] == summary["tasks"]
+
+    def test_unsharded_path_has_no_ipc_phase(self):
+        result = _run_campaign("baseline", None)
+        phases = result.phase_breakdown()["seconds"]
+        assert "ipc" not in phases
+        assert result.parallel_sim_summary() is None
+
+
+class TestWorkerHygiene:
+    def _sim_children(self):
+        return [
+            process
+            for process in multiprocessing.active_children()
+            if process.name.startswith("Process-")
+        ]
+
+    def test_cancellation_leaves_no_orphaned_workers(self):
+        # A stop-on-violation campaign cancels outstanding rounds; the
+        # persistent pool must survive for the session and die with
+        # shutdown_pool, leaving no orphans either way.
+        result = _run_campaign(
+            "baseline", 2, programs=4, stop_on_violation=True
+        )
+        assert result.violation_count() >= 1
+        simshard.shutdown_pool()
+        assert not self._sim_children()
+
+    def test_nested_in_process_backend_falls_back_inline(self):
+        # ProcessPoolBackend campaign workers are daemonic and cannot spawn
+        # sim workers; the run must still complete with identical results.
+        config = FuzzerConfig(
+            defense="baseline",
+            programs_per_instance=2,
+            inputs_per_program=7,
+            seed=3,
+            sim_workers=2,
+        )
+        pooled_campaign = Campaign(
+            config, instances=2, backend=ProcessPoolBackend(workers=2)
+        ).run()
+        inline_campaign = Campaign(config, instances=2, backend=InlineBackend()).run()
+        assert _campaign_fingerprint(pooled_campaign) == _campaign_fingerprint(
+            inline_campaign
+        )
+        report = pooled_campaign.reports[0]
+        assert report.parallel_sim.get("fallback_reason")
+        simshard.shutdown_pool()
+        assert not self._sim_children()
