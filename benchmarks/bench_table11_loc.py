@@ -3,8 +3,9 @@
 Paper shape: enabling AMuLeT on a new defense costs on the order of a
 thousand lines, most of which (test orchestration, communication, trace
 extraction) is shared plumbing that can be copied between defenses; the
-defense-specific part is small.  Here the split is: defense behavioural
-model vs shared executor plumbing vs trace extraction.
+defense-specific part is small.  Here the split is: the defense's spec
+declaration (plus hooks) vs the shared spec compiler, executor plumbing and
+trace extraction.
 """
 
 from __future__ import annotations
@@ -20,11 +21,17 @@ def test_table11_lines_of_code_per_defense(benchmark):
     rows = benchmark.pedantic(loc_table, rounds=1, iterations=1)
     attach_rows(benchmark, "Table 11 (integration LoC per defense)", rows)
 
-    assert {row["defense"] for row in rows} == {"invisispec", "cleanupspec", "stt", "speclfb"}
+    assert {row["defense"] for row in rows} >= {"invisispec", "cleanupspec", "stt", "speclfb"}
     for row in rows:
-        shared = row["executor_plumbing_loc"] + row["trace_extraction_loc"]
-        # The defense-specific model is comparable to or smaller than the
-        # shared plumbing, mirroring the paper's observation that most of the
-        # integration can be copied between defenses.
-        assert row["defense_model_loc"] < 2 * shared
+        shared = (
+            row["spec_kit_loc"]
+            + row["executor_plumbing_loc"]
+            + row["trace_extraction_loc"]
+        )
+        # The defense-specific part is much smaller than the shared machinery
+        # (spec compiler, executor, trace extraction), mirroring the paper's
+        # observation that most of the integration can be copied between
+        # defenses — and every built-in defense is declared in <100 spec lines.
+        assert row["defense_model_loc"] < shared
+        assert row["spec_loc"] is None or row["spec_loc"] < 100
         assert 100 < row["total_loc"] < 3000

@@ -1,0 +1,98 @@
+"""UndoSpec: an example third-party defense, declared in one spec.
+
+A deliberately simple CleanupSpec variant an architect might sketch: loads
+and stores install into the caches as usual, every installed line is
+recorded, and a squash invalidates the recorded lines — but the sketch
+repeats CleanupSpec's implementation bug of not tracking store installs
+(``store_not_cleaned``), which its patched variant fixes.  Unlike
+CleanupSpec it *does* track split-request lines, so the UV4 gadget stays
+clean.
+
+The point of the example is the integration cost: the whole defense is the
+``DefenseSpec`` below (<50 lines) plus a ``compile_defense`` call.  The
+conformance harness — which litmus cases to replay (borrowed from
+CleanupSpec's gadget library, with explicit expectations since the cases
+were written for a different defense), the patched-vs-buggy A/B, the smoke
+campaign and the Table-11 row — is generated from the spec:
+
+    PYTHONPATH=src:examples/undospec_plugin python - <<'PY'
+    from repro.defenses.registry import register_defense
+    from repro.defenses.conformance import build_harness
+    import undospec_plugin
+    register_defense(undospec_plugin.UndoSpecDefense)
+    print("\\n".join(build_harness("undospec").summary_lines()))
+    PY
+"""
+
+from __future__ import annotations
+
+from repro.defenses.compile import compile_defense
+from repro.defenses.spec import (
+    BugFlag,
+    CleanupPolicy,
+    DefenseSpec,
+    LinePolicy,
+    LitmusTag,
+    LoadRule,
+    MissAction,
+    StoreRule,
+)
+
+SPEC = DefenseSpec(
+    name="undospec",
+    description="Example plugin: undo speculative installs on squash (CleanupSpec-lite).",
+    contract="CT-SEQ",
+    sandbox_pages=1,
+    prime_strategy="flush",
+    load=LoadRule(
+        policy=LinePolicy(kind="load"),
+        record_key="lines_done",
+        miss_action=MissAction.RECORD_CLEANUP,
+    ),
+    store=StoreRule(
+        rfo=True,
+        policy=LinePolicy(kind="store_rfo"),
+        record_key="lines_done",
+        miss_action=MissAction.RECORD_CLEANUP,
+    ),
+    cleanup=CleanupPolicy(
+        record_key="cleanup_lines",
+        store_bug="store_not_cleaned",
+        split_bug=None,  # unlike CleanupSpec, split requests are tracked
+        event="cleanups",
+        stall_attr="cleanup_latency",
+    ),
+    bugs=(
+        BugFlag(
+            flag="store_not_cleaned",
+            vulnerability="UV3",
+            description=(
+                "speculative stores' cache installs are not tracked for "
+                "cleanup, so squashed store footprints survive"
+            ),
+            default=True,
+            patched=False,
+        ),
+    ),
+    # Borrowed gadgets: the cases were written for CleanupSpec, so their
+    # recorded expectations do not apply and each tag states its own.
+    litmus=(
+        # The shared store bug: leaks until the patch fixes it.
+        LitmusTag("cleanupspec_store", expect_violation=True, expect_violation_patched=False),
+        # Splits are tracked here, so the UV4 gadget stays clean.
+        LitmusTag("cleanupspec_split", expect_violation=False, expect_violation_patched=False),
+        # Undo-style cleanup inherently erases concurrent non-speculative
+        # footprints (UV5) and stalls commit (KV2); no patch addresses them.
+        LitmusTag("cleanupspec_too_much_cleaning", expect_violation=True, expect_violation_patched=True),
+        LitmusTag("cleanupspec_unxpec", expect_violation=True, expect_violation_patched=True),
+    ),
+    paper_reference="Example plugin (CleanupSpec-lite); see README 'Adding a defense'",
+)
+
+UndoSpecDefense = compile_defense(
+    SPEC,
+    module=__name__,
+    class_name="UndoSpecDefense",
+    bugs_class_name="UndoSpecBugs",
+)
+UndoSpecBugs = UndoSpecDefense.bugs_class

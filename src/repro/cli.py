@@ -154,6 +154,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the leakage-contract registry and exit",
     )
+    parser.add_argument(
+        "--describe-defense",
+        metavar="NAME",
+        default=None,
+        help="print a defense's full spec (event policy, bug flags and their "
+        "patched values, recommended contract/sandbox/priming, litmus cases) "
+        "and exit",
+    )
     return parser
 
 
@@ -163,6 +171,35 @@ def print_defenses() -> None:
             f"{row['name']:<12} contract={row['contract']:<9} "
             f"sandbox_pages={row['sandbox_pages']:<4} {row['description']}"
         )
+
+
+def describe_defense_lines(name: str) -> Sequence[str]:
+    """Full-spec description of one defense (``--describe-defense``).
+
+    Spec-registered defenses render their declarative spec; hand-written
+    classes fall back to the registry row plus whether a patched variant
+    exists.
+    """
+    from repro.defenses.registry import defense_class, defense_spec, registry
+
+    cls = defense_class(name)
+    spec = defense_spec(name)
+    if spec is not None:
+        lines = list(spec.summary_lines())
+    else:
+        doc = (cls.__doc__ or "").strip().splitlines()
+        patched = getattr(cls, "patched_bugs", lambda: None)()
+        lines = [
+            f"name              : {cls.name}",
+            f"description       : {doc[0] if doc else ''}",
+            f"contract          : {cls.recommended_contract}",
+            f"sandbox_pages     : {cls.recommended_sandbox_pages}",
+            f"prime_strategy    : {getattr(cls, 'recommended_prime_strategy', 'fill')}",
+            f"patched variant   : {'yes' if patched is not None else 'no'}",
+            "(hand-written defense class; no declarative spec)",
+        ]
+    lines.append(f"source            : {registry.source(cls.name)}")
+    return lines
 
 
 def print_contracts() -> None:
@@ -186,11 +223,18 @@ def select_backend(args: argparse.Namespace) -> str:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.list_defenses or args.list_contracts:
+    if args.list_defenses or args.list_contracts or args.describe_defense:
         if args.list_defenses:
             print_defenses()
         if args.list_contracts:
             print_contracts()
+        if args.describe_defense:
+            try:
+                lines = describe_defense_lines(args.describe_defense)
+            except KeyError as error:
+                parser.error(str(error.args[0]))
+            for line in lines:
+                print(line)
         return 0
     if args.workers is not None and args.workers < 1:
         parser.error("--workers must be at least 1")

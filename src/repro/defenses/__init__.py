@@ -2,24 +2,69 @@
 
 Each defense is a :class:`~repro.defenses.base.Defense` subclass that drives
 the memory hierarchy on behalf of the core's loads and stores.  The four
-countermeasures the paper tests are re-implemented here **including the
+countermeasures the paper tests are declared as :class:`DefenseSpec` values
+and compiled into concrete classes by :func:`compile_defense` **including the
 implementation bugs and design weaknesses the paper discovered** (UV1-UV6,
 KV1-KV3); every bug is controlled by a flag on the defense's ``bugs``
 configuration object, so both the original (buggy) artifact and the patched
 variant the paper evaluates can be instantiated.
+
+Third-party defenses plug in through the ``amulet_repro.defenses`` entry
+point group (see :mod:`repro.defenses.registry`) or in-process via
+:func:`register_defense`; :mod:`repro.defenses.conformance` generates a
+conformance harness (litmus selection, smoke campaign, patched-vs-buggy A/B)
+for any registered defense from its spec.
 """
 
 from repro.defenses.base import Defense, DefenseBugs
 from repro.defenses.baseline import BaselineDefense
+from repro.defenses.compile import compile_defense
 from repro.defenses.invisispec import InvisiSpecBugs, InvisiSpecDefense
 from repro.defenses.cleanupspec import CleanupSpecBugs, CleanupSpecDefense
+from repro.defenses.spec import (
+    BugFlag,
+    CleanupPolicy,
+    DefenseSpec,
+    HoldPolicy,
+    LinePolicy,
+    LitmusTag,
+    LoadRule,
+    MissAction,
+    ReplayPolicy,
+    StoreRule,
+    TaintPolicy,
+)
 from repro.defenses.stt import STTBugs, STTDefense
 from repro.defenses.speclfb import SpecLFBBugs, SpecLFBDefense
-from repro.defenses.registry import available_defenses, create_defense
+from repro.defenses.registry import (
+    DefenseRegistry,
+    DuplicateDefenseError,
+    available_defenses,
+    create_defense,
+    defense_class,
+    defense_spec,
+    describe_defenses,
+    register_defense,
+    unregister_defense,
+)
 
 __all__ = [
     "Defense",
     "DefenseBugs",
+    "DefenseSpec",
+    "DefenseRegistry",
+    "DuplicateDefenseError",
+    "BugFlag",
+    "CleanupPolicy",
+    "HoldPolicy",
+    "LinePolicy",
+    "LitmusTag",
+    "LoadRule",
+    "MissAction",
+    "ReplayPolicy",
+    "StoreRule",
+    "TaintPolicy",
+    "compile_defense",
     "BaselineDefense",
     "InvisiSpecBugs",
     "InvisiSpecDefense",
@@ -31,4 +76,9 @@ __all__ = [
     "SpecLFBDefense",
     "available_defenses",
     "create_defense",
+    "defense_class",
+    "defense_spec",
+    "describe_defenses",
+    "register_defense",
+    "unregister_defense",
 ]

@@ -48,6 +48,10 @@ class Defense:
     recommended_contract = "CT-SEQ"
     #: Sandbox pages the paper uses when testing this defense.
     recommended_sandbox_pages = 1
+    #: Cache-priming strategy campaigns should default to (paper Section 3.5):
+    #: ``"fill"`` primes every L1D set from outside the sandbox, ``"flush"``
+    #: starts from empty caches, ``"none"`` keeps the previous test's state.
+    recommended_prime_strategy = "fill"
     #: True when the defense consumes the core's safety notifications
     #: (``entry.safe_notified`` / ``on_entry_safe``) without overriding the
     #: hook itself; the core skips that whole pipeline stage for defenses

@@ -5,44 +5,28 @@ and install lines on a miss; stores translate through the TLB at execute time
 and write the cache when they commit.  This is the behaviour that makes
 Spectre-v1 and Spectre-v4 leak, and it is the comparison point for every
 defense campaign (Table 3 and the Baseline row of Table 4).
+
+The spec is the identity element of the defense kit: default visibility
+everywhere, no bug flags, no squash/safety machinery.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from repro.defenses.compile import compile_defense
+from repro.defenses.spec import DefenseSpec, LitmusTag
 
-from repro.defenses.base import Defense
+SPEC = DefenseSpec(
+    name="baseline",
+    description="No countermeasure: the default gem5 O3CPU behaviour.",
+    contract="CT-SEQ",
+    sandbox_pages=1,
+    prime_strategy="fill",
+    litmus=(
+        LitmusTag("spectre_v1"),
+        LitmusTag("spectre_v1_memory"),
+        LitmusTag("spectre_v4"),
+    ),
+    paper_reference="Section 4.2 (baseline CT-SEQ/CT-COND violations)",
+)
 
-
-class BaselineDefense(Defense):
-    """No countermeasure: the default gem5 O3CPU behaviour."""
-
-    name = "baseline"
-    recommended_contract = "CT-SEQ"
-    recommended_sandbox_pages = 1
-
-    def load_execute(self, entry, cycle: int) -> Optional[int]:
-        tlb_latency = self.memory.dtlb_access(entry.mem_address, install=True)
-        access_latency = self.access_lines(entry, cycle, kind="load")
-        if access_latency is None:
-            return None
-        return tlb_latency + access_latency
-
-    def store_execute(self, entry, cycle: int) -> Optional[int]:
-        # Address translation happens at execute time, even speculatively.
-        tlb_latency = self.memory.dtlb_access(entry.mem_address, install=True)
-        return 1 + tlb_latency
-
-    def commit_store(self, entry, cycle: int) -> None:
-        # Senior stores drain through a write buffer: they install lines
-        # (write-allocate) but never stall on MSHR availability.
-        for line in entry.line_addresses:
-            self.memory.data_access(
-                line,
-                cycle,
-                entry.pc,
-                install_l1=True,
-                install_l2=True,
-                require_mshr_on_miss=False,
-                kind="store",
-            )
+BaselineDefense = compile_defense(SPEC, module=__name__, class_name="BaselineDefense")

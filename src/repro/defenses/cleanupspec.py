@@ -23,126 +23,87 @@ The paper's findings modelled here:
   which changes how far instruction fetch runs ahead and therefore the final
   L1I state (unXpec, Table 10).  Visible only when the L1I is included in
   the micro-architectural trace.
+
+In spec terms: loads and stores install normally but record their installs
+via the ``RECORD_CLEANUP`` miss action (stores fetch for ownership at
+execute time, ``rfo``), and the :class:`CleanupPolicy` invalidates the
+recorded lines at squash time while stalling commit — UV5 and KV2 fall out
+of the policy itself; UV3 and UV4 are its two bug gates.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from repro.defenses.compile import compile_defense
+from repro.defenses.spec import (
+    BugFlag,
+    CleanupPolicy,
+    DefenseSpec,
+    LinePolicy,
+    LitmusTag,
+    LoadRule,
+    MissAction,
+    StoreRule,
+)
 
-from repro.defenses.base import Defense, DefenseBugs
+SPEC = DefenseSpec(
+    name="cleanupspec",
+    description="Undo-based speculation: install speculatively, clean up on squash.",
+    contract="CT-SEQ",
+    sandbox_pages=1,
+    prime_strategy="flush",
+    load=LoadRule(
+        policy=LinePolicy(kind="load"),
+        record_key="lines_done",
+        miss_action=MissAction.RECORD_CLEANUP,
+    ),
+    store=StoreRule(
+        rfo=True,
+        policy=LinePolicy(kind="store_rfo"),
+        record_key="lines_done",
+        miss_action=MissAction.RECORD_CLEANUP,
+    ),
+    cleanup=CleanupPolicy(
+        record_key="cleanup_lines",
+        store_bug="store_not_cleaned",
+        split_bug="split_not_cleaned",
+        event="cleanups",
+        stall_attr="cleanup_latency",
+    ),
+    bugs=(
+        BugFlag(
+            flag="store_not_cleaned",
+            vulnerability="UV3",
+            description=(
+                "speculative stores' cache installs are not tracked for "
+                "cleanup, so squashed store footprints survive"
+            ),
+            default=True,
+            patched=False,
+        ),
+        BugFlag(
+            flag="split_not_cleaned",
+            vulnerability="UV4",
+            description=(
+                "the second half of a line-crossing (split) access is "
+                "never cleaned"
+            ),
+            default=True,
+            patched=None,  # the UV3 patch does not address split requests
+        ),
+    ),
+    litmus=(
+        LitmusTag("cleanupspec_store"),
+        LitmusTag("cleanupspec_split"),
+        LitmusTag("cleanupspec_too_much_cleaning"),
+        LitmusTag("cleanupspec_unxpec"),
+    ),
+    paper_reference="Listings 3-4 / Tables 8-10 (UV3-UV5, KV2)",
+)
 
-
-@dataclass
-class CleanupSpecBugs(DefenseBugs):
-    """Implementation bugs of the public CleanupSpec gem5 code base."""
-
-    #: UV3 -- speculative stores' cache installs are not tracked for cleanup.
-    store_not_cleaned: bool = True
-    #: UV4 -- the second half of a line-crossing (split) access is not cleaned.
-    split_not_cleaned: bool = True
-
-
-class CleanupSpecDefense(Defense):
-    """Undo-based speculation: install speculatively, clean up on squash."""
-
-    name = "cleanupspec"
-    recommended_contract = "CT-SEQ"
-    recommended_sandbox_pages = 1
-
-    def __init__(self, bugs: Optional[CleanupSpecBugs] = None) -> None:
-        super().__init__(bugs if bugs is not None else CleanupSpecBugs())
-
-    # -- helpers -----------------------------------------------------------------
-    def _record_cleanup_line(self, entry, line: int, *, is_store: bool, index: int) -> None:
-        """Record cleanup metadata for an installed line, modulo the bugs."""
-        if is_store and self._bug("store_not_cleaned"):
-            return
-        if index > 0 and self._bug("split_not_cleaned"):
-            return
-        entry.defense_data.setdefault("cleanup_lines", []).append(line)
-
-    def _bug(self, name: str) -> bool:
-        return bool(self.bugs and getattr(self.bugs, name, False))
-
-    # -- load path -------------------------------------------------------------------
-    def load_execute(self, entry, cycle: int) -> Optional[int]:
-        tlb_latency = self.memory.dtlb_access(entry.mem_address, install=True)
-        done = entry.defense_data.setdefault("lines_done", {})
-        total_latency = 0
-        for index, line in enumerate(entry.line_addresses):
-            if line in done:
-                total_latency = max(total_latency, done[line])
-                continue
-            result = self.memory.data_access(
-                line,
-                cycle,
-                entry.pc,
-                install_l1=True,
-                install_l2=True,
-                kind="load",
-            )
-            if result is None:
-                return None
-            done[line] = result.latency
-            if not result.l1_hit:
-                # The access installed a new line; remember it for cleanup.
-                self._record_cleanup_line(entry, line, is_store=entry.is_store, index=index)
-            total_latency = max(total_latency, result.latency)
-        return tlb_latency + total_latency
-
-    # -- store path ------------------------------------------------------------------
-    def store_execute(self, entry, cycle: int) -> Optional[int]:
-        """Speculative stores fetch their line for ownership at execute time."""
-        tlb_latency = self.memory.dtlb_access(entry.mem_address, install=True)
-        done = entry.defense_data.setdefault("lines_done", {})
-        total_latency = 0
-        for index, line in enumerate(entry.line_addresses):
-            if line in done:
-                total_latency = max(total_latency, done[line])
-                continue
-            result = self.memory.data_access(
-                line,
-                cycle,
-                entry.pc,
-                install_l1=True,
-                install_l2=True,
-                kind="store_rfo",
-            )
-            if result is None:
-                return None
-            done[line] = result.latency
-            if not result.l1_hit:
-                self._record_cleanup_line(entry, line, is_store=True, index=index)
-            total_latency = max(total_latency, result.latency)
-        return 1 + tlb_latency + total_latency
-
-    def commit_store(self, entry, cycle: int) -> None:
-        # The line was (speculatively) brought in at execute time; the commit
-        # simply drains the data, refreshing the line if it is still present.
-        for line in entry.line_addresses:
-            self.memory.data_access(
-                line,
-                cycle,
-                entry.pc,
-                install_l1=True,
-                install_l2=True,
-                require_mshr_on_miss=False,
-                kind="store",
-            )
-
-    # -- cleanup (undo) -------------------------------------------------------------------
-    def on_squash(self, entry, cycle: int) -> None:
-        lines: List[int] = entry.defense_data.get("cleanup_lines", [])
-        if not lines:
-            return
-        cleaned = 0
-        for line in lines:
-            if self.memory.l1d.invalidate(line):
-                cleaned += 1
-            self.memory.l2.invalidate(line)
-        if self.core is not None and cleaned:
-            self.core.stats.record_defense_event("cleanups", cleaned)
-            # Cleanup occupies the cache port; it delays forward progress,
-            # which is the timing channel behind KV2 (unXpec).
-            self.core.stall_commit(cycle + self.config.cleanup_latency * cleaned)
+CleanupSpecDefense = compile_defense(
+    SPEC,
+    module=__name__,
+    class_name="CleanupSpecDefense",
+    bugs_class_name="CleanupSpecBugs",
+)
+CleanupSpecBugs = CleanupSpecDefense.bugs_class

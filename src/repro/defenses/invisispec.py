@@ -20,136 +20,74 @@ Two weaknesses of the public gem5 implementation are modelled:
   the same core (single-threaded speculative interference, Table 7).  This
   is inherent to the design and only becomes likely once the MSHR count is
   reduced (leakage amplification, Table 6).
+
+In spec terms: loads run under an invisible :class:`LinePolicy` charged an
+extra L1-hit latency for the speculative-buffer read, the UV1 eviction is the
+bug-gated ``EVICT_IF_SET_FULL`` miss action, and the Expose machinery is the
+kit's :class:`ReplayPolicy` (commit-time enqueue, in-order, one per cycle,
+head-of-line blocked on MSHRs — which is UV2, no flag needed).
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass
-from typing import Deque, Optional, Tuple
+from repro.defenses.compile import compile_defense
+from repro.defenses.spec import (
+    BugFlag,
+    DefenseSpec,
+    LinePolicy,
+    LitmusTag,
+    LoadRule,
+    MissAction,
+    ReplayPolicy,
+)
 
-from repro.defenses.base import Defense, DefenseBugs
+SPEC = DefenseSpec(
+    name="invisispec",
+    description="InvisiSpec Futuristic: invisible speculative loads plus expose.",
+    contract="CT-SEQ",
+    sandbox_pages=1,
+    prime_strategy="fill",
+    load=LoadRule(
+        # InvisiSpec does not protect the TLB (hence the 1-page sandbox);
+        # the line fill goes to the speculative buffer, not the caches.
+        policy=LinePolicy(
+            kind="spec_load",
+            install_l1=False,
+            install_l2=False,
+            update_replacement=False,
+        ),
+        record_key="spec_lines",
+        miss_action=MissAction.EVICT_IF_SET_FULL,
+        miss_bug="speculative_eviction",
+        miss_event="uv1_speculative_eviction",
+        # The speculative-buffer read costs one extra L1-hit latency.
+        extra_latency_attr="l1_hit_latency",
+    ),
+    replay=ReplayPolicy(per_cycle=1, kind="expose", event="exposes"),
+    bugs=(
+        BugFlag(
+            flag="speculative_eviction",
+            vulnerability="UV1",
+            description=(
+                "speculative load misses on a full set trigger an L1 "
+                "replacement, leaking the load's address"
+            ),
+            default=True,
+            patched=False,
+            event="uv1_speculative_eviction",
+        ),
+    ),
+    litmus=(
+        LitmusTag("invisispec_eviction"),
+        LitmusTag("invisispec_mshr_interference"),
+    ),
+    paper_reference="Figure 4 / Listings 1-2 (UV1), Figure 6 / Table 7 (UV2)",
+)
 
-
-@dataclass
-class InvisiSpecBugs(DefenseBugs):
-    """Implementation bugs of the public InvisiSpec gem5 code base."""
-
-    #: UV1 -- speculative load misses on a full set trigger an L1 replacement.
-    speculative_eviction: bool = True
-
-
-class InvisiSpecDefense(Defense):
-    """InvisiSpec Futuristic: invisible speculative loads plus expose."""
-
-    name = "invisispec"
-    recommended_contract = "CT-SEQ"
-    recommended_sandbox_pages = 1
-
-    #: Expose requests processed per cycle when the head is not blocked.
-    EXPOSES_PER_CYCLE = 1
-
-    def __init__(self, bugs: Optional[InvisiSpecBugs] = None) -> None:
-        super().__init__(bugs if bugs is not None else InvisiSpecBugs())
-        self._expose_queue: Deque[Tuple[int, int]] = deque()  # (line, pc)
-
-    # -- lifecycle ------------------------------------------------------------
-    def reset_for_run(self) -> None:
-        self._expose_queue.clear()
-
-    def drain_complete(self) -> bool:
-        return not self._expose_queue
-
-    # -- load path ---------------------------------------------------------------
-    def load_execute(self, entry, cycle: int) -> Optional[int]:
-        # InvisiSpec does not protect the TLB (hence the 1-page sandbox).
-        tlb_latency = self.memory.dtlb_access(entry.mem_address, install=True)
-        config = self.config
-        done = entry.defense_data.setdefault("spec_lines", {})
-        total_latency = 0
-        for line in entry.line_addresses:
-            if line in done:
-                total_latency = max(total_latency, done[line])
-                continue
-            result = self.memory.data_access(
-                line,
-                cycle,
-                entry.pc,
-                install_l1=False,
-                install_l2=False,
-                update_replacement=False,
-                require_mshr_on_miss=True,
-                kind="spec_load",
-            )
-            if result is None:
-                return None
-            if not result.l1_hit and self._bug_speculative_eviction():
-                # UV1: the buggy implementation starts an L1 replacement for a
-                # speculative miss whenever the set has no free way.
-                if not self.memory.l1d.has_free_way(line):
-                    evicted = self.memory.l1d.evict(line)
-                    if evicted is not None and self.core is not None:
-                        self.core.stats.record_defense_event("uv1_speculative_eviction")
-            done[line] = result.latency
-            total_latency = max(total_latency, result.latency)
-        return tlb_latency + total_latency + config.l1_hit_latency
-
-    def _bug_speculative_eviction(self) -> bool:
-        return bool(self.bugs and getattr(self.bugs, "speculative_eviction", False))
-
-    # -- store path ----------------------------------------------------------------
-    def store_execute(self, entry, cycle: int) -> Optional[int]:
-        tlb_latency = self.memory.dtlb_access(entry.mem_address, install=True)
-        return 1 + tlb_latency
-
-    def commit_store(self, entry, cycle: int) -> None:
-        for line in entry.line_addresses:
-            self.memory.data_access(
-                line,
-                cycle,
-                entry.pc,
-                install_l1=True,
-                install_l2=True,
-                require_mshr_on_miss=False,
-                kind="store",
-            )
-
-    # -- expose ----------------------------------------------------------------------
-    def on_commit(self, entry, cycle: int) -> None:
-        if entry.is_load:
-            for line in entry.line_addresses:
-                self._expose_queue.append((line, entry.pc))
-
-    def tick(self, cycle: int) -> None:
-        """Process the in-order expose queue.
-
-        The queue head needing an MSHR while none is free blocks every
-        younger expose behind it — the in-order cache-controller queue the
-        paper identifies as the root cause of UV2.
-        """
-        processed = 0
-        while self._expose_queue and processed < self.EXPOSES_PER_CYCLE:
-            line, pc = self._expose_queue[0]
-            if self.memory.l1d.probe(line):
-                # Already resident (e.g. exposed earlier or installed by a
-                # committed store): just refresh replacement state.
-                self.memory.l1d.install(line)
-                self._expose_queue.popleft()
-                processed += 1
-                continue
-            result = self.memory.data_access(
-                line,
-                cycle,
-                pc,
-                install_l1=True,
-                install_l2=True,
-                require_mshr_on_miss=True,
-                kind="expose",
-            )
-            if result is None:
-                # Head-of-line blocking on MSHR availability.
-                break
-            if self.core is not None:
-                self.core.stats.record_defense_event("exposes")
-            self._expose_queue.popleft()
-            processed += 1
+InvisiSpecDefense = compile_defense(
+    SPEC,
+    module=__name__,
+    class_name="InvisiSpecDefense",
+    bugs_class_name="InvisiSpecBugs",
+)
+InvisiSpecBugs = InvisiSpecDefense.bugs_class

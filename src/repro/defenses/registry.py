@@ -1,83 +1,236 @@
-"""Registry of testable targets (baseline plus the four countermeasures)."""
+"""Registry of testable targets: built-ins plus entry-point plugins.
+
+The five built-in targets (baseline plus the four countermeasures) register
+at import time.  Third-party defenses land through ``importlib.metadata``
+entry points in the ``amulet_repro.defenses`` group — a plugin distribution
+declares::
+
+    [project.entry-points."amulet_repro.defenses"]
+    mydefense = my_package.my_module:SPEC
+
+where the entry point resolves to a :class:`~repro.defenses.spec.DefenseSpec`
+(compiled on discovery), an already-compiled :class:`Defense` subclass, or a
+zero-argument callable returning either.  Discovery is lazy (first registry
+query) and cached; in-process registration is available via
+:func:`register_defense` for prototypes that are not packaged yet.
+
+Patched variants resolve through the spec: a defense's ``patched_bugs()``
+returns the bugs object with every :class:`BugFlag`'s ``patched`` value
+applied (UV1 for InvisiSpec, UV3 for CleanupSpec, KV3 for STT, UV6 for
+SpecLFB); design-level weaknesses such as UV2/UV5/KV2 carry no flag and
+remain.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple, Type
+import inspect
+from importlib import metadata as importlib_metadata
+from typing import Dict, Optional, Tuple, Type, Union
 
 from repro.defenses.base import Defense
-from repro.defenses.baseline import BaselineDefense
-from repro.defenses.cleanupspec import CleanupSpecBugs, CleanupSpecDefense
-from repro.defenses.invisispec import InvisiSpecBugs, InvisiSpecDefense
-from repro.defenses.speclfb import SpecLFBBugs, SpecLFBDefense
-from repro.defenses.stt import STTBugs, STTDefense
+from repro.defenses.compile import compile_defense
+from repro.defenses.spec import DefenseSpec
 
-_DEFENSES: Dict[str, Type[Defense]] = {
-    "baseline": BaselineDefense,
-    "invisispec": InvisiSpecDefense,
-    "cleanupspec": CleanupSpecDefense,
-    "stt": STTDefense,
-    "speclfb": SpecLFBDefense,
-}
+ENTRY_POINT_GROUP = "amulet_repro.defenses"
 
-_PATCHED_BUGS = {
-    "invisispec": lambda: InvisiSpecBugs(speculative_eviction=False),
-    "cleanupspec": lambda: CleanupSpecBugs(store_not_cleaned=False, split_not_cleaned=True),
-    "stt": lambda: STTBugs(tainted_store_tlb=False),
-    "speclfb": lambda: SpecLFBBugs(first_load_unprotected=False),
-}
+RegistrableDefense = Union[Type[Defense], DefenseSpec]
 
+
+class DuplicateDefenseError(ValueError):
+    """Two different defenses claimed the same registry name."""
+
+
+def _resolve_registrable(target) -> Type[Defense]:
+    """Normalise a registration target to a concrete ``Defense`` subclass."""
+    if isinstance(target, DefenseSpec):
+        return compile_defense(target)
+    if inspect.isclass(target) and issubclass(target, Defense):
+        return target
+    if callable(target):
+        return _resolve_registrable(target())
+    raise TypeError(
+        f"cannot register {target!r}: expected a DefenseSpec, a Defense "
+        "subclass, or a callable returning one"
+    )
+
+
+class DefenseRegistry:
+    """Name -> defense-class mapping with entry-point plugin discovery."""
+
+    def __init__(self, entry_point_group: Optional[str] = ENTRY_POINT_GROUP) -> None:
+        self._entry_point_group = entry_point_group
+        self._classes: Dict[str, Type[Defense]] = {}
+        self._sources: Dict[str, str] = {}
+        self._discovered = entry_point_group is None
+
+    # -- registration -------------------------------------------------------
+    def register(self, target, *, source: str = "api") -> Type[Defense]:
+        """Register a defense; idempotent for the identical class."""
+        cls = _resolve_registrable(target)
+        name = str(cls.name).lower()
+        if not name or name == Defense.name:
+            raise ValueError(
+                f"defense class {cls.__name__} must set a non-default 'name'"
+            )
+        existing = self._classes.get(name)
+        if existing is not None:
+            if existing is cls:
+                return cls
+            raise DuplicateDefenseError(
+                f"defense name {name!r} is already registered by "
+                f"{self._sources[name]} ({existing.__module__}.{existing.__name__}); "
+                f"refusing {source} ({cls.__module__}.{cls.__name__})"
+            )
+        self._classes[name] = cls
+        self._sources[name] = source
+        return cls
+
+    def unregister(self, name: str) -> None:
+        key = name.lower()
+        self._classes.pop(key, None)
+        self._sources.pop(key, None)
+
+    # -- entry-point discovery ----------------------------------------------
+    def _discover(self) -> None:
+        if self._discovered:
+            return
+        self._discovered = True
+        entry_points = importlib_metadata.entry_points(group=self._entry_point_group)
+        for entry_point in entry_points:
+            dist = getattr(entry_point, "dist", None)
+            source = f"entry point {entry_point.name!r}"
+            if dist is not None:
+                source += f" (distribution {dist.name})"
+            self.register(entry_point.load(), source=source)
+
+    def refresh(self) -> None:
+        """Force re-discovery of entry points on the next query (tests)."""
+        self._discovered = self._entry_point_group is None
+
+    # -- queries ------------------------------------------------------------
+    def names(self) -> Tuple[str, ...]:
+        self._discover()
+        return tuple(self._classes)
+
+    def get(self, name: str) -> Type[Defense]:
+        self._discover()
+        key = name.lower()
+        if key not in self._classes:
+            known = ", ".join(sorted(self._classes))
+            raise KeyError(f"unknown defense {name!r}; known defenses: {known}")
+        return self._classes[key]
+
+    def source(self, name: str) -> str:
+        self._discover()
+        return self._sources[name.lower()]
+
+    def spec(self, name: str) -> Optional[DefenseSpec]:
+        """The defense's declarative spec (None for hand-written classes)."""
+        return getattr(self.get(name), "SPEC", None)
+
+    def create(self, name: str, patched: bool = False, bugs=None) -> Defense:
+        """Instantiate a defense by name.
+
+        ``patched=True`` returns the variant with the paper's straightforward
+        implementation-bug fixes applied, resolved from the spec's bug flags;
+        design-level weaknesses cannot be "patched" by a flag and remain.
+        Passing an explicit ``bugs`` object overrides ``patched``.
+        """
+        cls = self.get(name)
+        if bugs is None and patched:
+            patched_factory = getattr(cls, "patched_bugs", None)
+            if patched_factory is not None:
+                bugs = patched_factory()
+        if bugs is None:
+            return cls()
+        return cls(bugs)
+
+    def describe(self) -> Tuple[Dict[str, object], ...]:
+        """Name, recommended contract/sandbox and a one-line description.
+
+        The description is the defense class's docstring headline so the
+        listing never drifts from the implementation's own documentation;
+        plugin-supplied classes without a docstring fall back to their
+        spec's description (and to an empty string without a spec).
+        """
+        self._discover()
+        rows = []
+        for name, cls in self._classes.items():
+            doc = (cls.__doc__ or "").strip().splitlines()
+            description = doc[0] if doc else ""
+            if not description:
+                spec = getattr(cls, "SPEC", None)
+                if spec is not None:
+                    description = spec.description
+            rows.append(
+                {
+                    "name": name,
+                    "contract": cls.recommended_contract,
+                    "sandbox_pages": cls.recommended_sandbox_pages,
+                    "description": description,
+                    "source": self._sources[name],
+                }
+            )
+        return tuple(rows)
+
+
+#: The process-wide registry; built-ins register at import below.
+registry = DefenseRegistry()
+
+
+def _register_builtins() -> None:
+    # Imported here (not at module top) to keep the defense modules free to
+    # import registry helpers without a cycle.
+    from repro.defenses.baseline import BaselineDefense
+    from repro.defenses.cleanupspec import CleanupSpecDefense
+    from repro.defenses.invisispec import InvisiSpecDefense
+    from repro.defenses.speclfb import SpecLFBDefense
+    from repro.defenses.stt import STTDefense
+
+    for cls in (
+        BaselineDefense,
+        InvisiSpecDefense,
+        CleanupSpecDefense,
+        STTDefense,
+        SpecLFBDefense,
+    ):
+        registry.register(cls, source="builtin")
+
+
+_register_builtins()
+
+
+# -- module-level convenience API (the stable interface) ---------------------
 
 def available_defenses() -> Tuple[str, ...]:
-    """Names of all testable targets."""
-    return tuple(_DEFENSES)
+    """Names of all testable targets (built-ins plus discovered plugins)."""
+    return registry.names()
 
 
-def describe_defenses() -> Tuple[Dict[str, str], ...]:
-    """Name, recommended contract/sandbox and a one-line description per target.
-
-    The description is the defense class's docstring headline, so the
-    registry listing (``amulet-repro --list-defenses``) never drifts from
-    the implementation's own documentation.
-    """
-    rows = []
-    for name, cls in _DEFENSES.items():
-        doc = (cls.__doc__ or "").strip().splitlines()
-        rows.append(
-            {
-                "name": name,
-                "contract": cls.recommended_contract,
-                "sandbox_pages": cls.recommended_sandbox_pages,
-                "description": doc[0] if doc else "",
-            }
-        )
-    return tuple(rows)
+def describe_defenses() -> Tuple[Dict[str, object], ...]:
+    """Name, recommended contract/sandbox and a one-line description per target."""
+    return registry.describe()
 
 
 def create_defense(name: str, patched: bool = False, bugs=None) -> Defense:
-    """Instantiate a defense by name.
-
-    ``patched=True`` returns the variant with the paper's straightforward
-    implementation-bug fixes applied (UV1 for InvisiSpec, UV3 for
-    CleanupSpec, KV3 for STT, UV6 for SpecLFB); design-level weaknesses such
-    as UV2/UV5/KV2 cannot be "patched" by a flag and remain.  Passing an
-    explicit ``bugs`` object overrides ``patched``.
-    """
-    key = name.lower()
-    if key not in _DEFENSES:
-        known = ", ".join(sorted(_DEFENSES))
-        raise KeyError(f"unknown defense {name!r}; known defenses: {known}")
-    defense_class = _DEFENSES[key]
-    if key == "baseline":
-        return defense_class()
-    if bugs is None and patched:
-        bugs = _PATCHED_BUGS[key]()
-    if bugs is None:
-        return defense_class()
-    return defense_class(bugs)
+    """Instantiate a defense by name (see :meth:`DefenseRegistry.create`)."""
+    return registry.create(name, patched=patched, bugs=bugs)
 
 
 def defense_class(name: str) -> Type[Defense]:
-    key = name.lower()
-    if key not in _DEFENSES:
-        raise KeyError(f"unknown defense {name!r}")
-    return _DEFENSES[key]
+    return registry.get(name)
+
+
+def defense_spec(name: str) -> Optional[DefenseSpec]:
+    """The defense's declarative spec (None for hand-written classes)."""
+    return registry.spec(name)
+
+
+def register_defense(target, *, source: str = "api") -> Type[Defense]:
+    """Register a spec or Defense subclass with the process-wide registry."""
+    return registry.register(target, source=source)
+
+
+def unregister_defense(name: str) -> None:
+    """Remove a defense from the process-wide registry (test hygiene)."""
+    registry.unregister(name)

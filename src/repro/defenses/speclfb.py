@@ -11,124 +11,98 @@ squashed the LFB entry is dropped.  Speculative hits proceed normally.
   speculative load in the load-store queue, so single-speculative-load
   Spectre-v1 gadgets (Figure 8) install their line immediately and leak.
   The patched variant treats every speculative load as unsafe.
+
+In spec terms: the load rule has two visibilities — invisible while the load
+is classified as protected, normal otherwise — with the ``HOLD_LINE`` miss
+action feeding the kit's :class:`HoldPolicy` (install on safe, drop on
+squash).  The classification itself, including the UV6 quirk, is genuinely
+SpecLFB-specific and stays here as the ``classify_protected`` escape hatch.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
-
-from repro.defenses.base import Defense, DefenseBugs
-
-
-@dataclass
-class SpecLFBBugs(DefenseBugs):
-    """Implementation bugs of the public SpecLFB gem5 code base."""
-
-    #: UV6 -- the first speculative load in the LSQ is treated as safe.
-    first_load_unprotected: bool = True
+from repro.defenses.compile import compile_defense
+from repro.defenses.spec import (
+    BugFlag,
+    DefenseSpec,
+    HoldPolicy,
+    LinePolicy,
+    LitmusTag,
+    LoadRule,
+    MissAction,
+)
 
 
-class SpecLFBDefense(Defense):
-    """Delay-on-miss via the line-fill buffer, with per-load safety checks."""
+def classify_protected(defense, entry) -> bool:
+    """The ``isUnsafe()`` check of the SpecLFB implementation."""
+    core = defense.core
+    if not core.is_currently_unsafe(entry):
+        return False
+    bugs = defense.bugs
+    if bugs and getattr(bugs, "first_load_unprotected", False):
+        # UV6: isReallyUnsafe is cleared when no *older* unsafe load
+        # exists in the load-store queue.
+        for older in core.instruction_window():
+            if older.seq >= entry.seq:
+                break
+            if (
+                older.is_load
+                and not older.squashed
+                and older.speculative
+                and not older.safe_notified
+            ):
+                return True
+        core.stats.record_defense_event("uv6_first_load_bypass")
+        return False
+    return True
 
-    name = "speclfb"
-    recommended_contract = "CT-SEQ"
-    recommended_sandbox_pages = 1
 
-    def __init__(self, bugs: Optional[SpecLFBBugs] = None) -> None:
-        super().__init__(bugs if bugs is not None else SpecLFBBugs())
-        self._lfb: Dict[int, List[int]] = {}
+SPEC = DefenseSpec(
+    name="speclfb",
+    description="Delay-on-miss via the line-fill buffer, with per-load safety checks.",
+    contract="CT-SEQ",
+    sandbox_pages=1,
+    prime_strategy="flush",
+    load=LoadRule(
+        # SpecLFB does not protect the TLB; unsafe loads are invisible,
+        # safe ones access the caches normally.
+        policy=LinePolicy(kind="load"),
+        protected_policy=LinePolicy(
+            kind="spec_load",
+            install_l1=False,
+            install_l2=False,
+            update_replacement=False,
+        ),
+        record_key="lines_done",
+        miss_action=MissAction.HOLD_LINE,
+    ),
+    hold=HoldPolicy(
+        record_key="lfb_lines",
+        held_event="lfb_held_loads",
+        install_event="lfb_installs",
+    ),
+    bugs=(
+        BugFlag(
+            flag="first_load_unprotected",
+            vulnerability="UV6",
+            description=(
+                "the first speculative load in the load-store queue is "
+                "treated as safe and installs its line immediately"
+            ),
+            default=True,
+            patched=False,
+            event="uv6_first_load_bypass",
+        ),
+    ),
+    litmus=(LitmusTag("speclfb_first_load"),),
+    paper_reference="Figure 8 (UV6)",
+    hooks={"classify_protected": classify_protected},
+)
 
-    def reset_for_run(self) -> None:
-        self._lfb.clear()
-
-    def drain_complete(self) -> bool:
-        return not self._lfb
-
-    # -- safety classification ------------------------------------------------------
-    def _is_unsafe(self, entry) -> bool:
-        """The ``isUnsafe()`` check of the SpecLFB implementation."""
-        if not self.core.is_currently_unsafe(entry):
-            return False
-        if self.bugs and getattr(self.bugs, "first_load_unprotected", False):
-            # UV6: isReallyUnsafe is cleared when no *older* unsafe load
-            # exists in the load-store queue.
-            for older in self.core.instruction_window():
-                if older.seq >= entry.seq:
-                    break
-                if (
-                    older.is_load
-                    and not older.squashed
-                    and older.speculative
-                    and not older.safe_notified
-                ):
-                    return True
-            if self.core is not None:
-                self.core.stats.record_defense_event("uv6_first_load_bypass")
-            return False
-        return True
-
-    # -- load path ----------------------------------------------------------------------
-    def load_execute(self, entry, cycle: int) -> Optional[int]:
-        # SpecLFB does not protect the TLB.
-        tlb_latency = self.memory.dtlb_access(entry.mem_address, install=True)
-        protected = self._is_unsafe(entry)
-        done = entry.defense_data.setdefault("lines_done", {})
-        held_lines = entry.defense_data.setdefault("lfb_lines", [])
-        total_latency = 0
-        for line in entry.line_addresses:
-            if line in done:
-                total_latency = max(total_latency, done[line])
-                continue
-            result = self.memory.data_access(
-                line,
-                cycle,
-                entry.pc,
-                install_l1=not protected,
-                install_l2=not protected,
-                update_replacement=not protected,
-                kind="spec_load" if protected else "load",
-            )
-            if result is None:
-                return None
-            done[line] = result.latency
-            if protected and not result.l1_hit:
-                held_lines.append(line)
-            total_latency = max(total_latency, result.latency)
-        if protected and held_lines:
-            self._lfb[entry.seq] = list(held_lines)
-            if self.core is not None:
-                self.core.stats.record_defense_event("lfb_held_loads")
-        return tlb_latency + total_latency
-
-    # -- store path -----------------------------------------------------------------------
-    def store_execute(self, entry, cycle: int) -> Optional[int]:
-        tlb_latency = self.memory.dtlb_access(entry.mem_address, install=True)
-        return 1 + tlb_latency
-
-    def commit_store(self, entry, cycle: int) -> None:
-        for line in entry.line_addresses:
-            self.memory.data_access(
-                line,
-                cycle,
-                entry.pc,
-                install_l1=True,
-                install_l2=True,
-                require_mshr_on_miss=False,
-                kind="store",
-            )
-
-    # -- safety / squash ---------------------------------------------------------------------
-    def on_entry_safe(self, entry, cycle: int) -> None:
-        lines = self._lfb.pop(entry.seq, None)
-        if not lines:
-            return
-        for line in lines:
-            self.memory.l1d.install(line)
-            self.memory.l2.install(line)
-        if self.core is not None:
-            self.core.stats.record_defense_event("lfb_installs", len(lines))
-
-    def on_squash(self, entry, cycle: int) -> None:
-        self._lfb.pop(entry.seq, None)
+SpecLFBDefense = compile_defense(
+    SPEC,
+    module=__name__,
+    class_name="SpecLFBDefense",
+    bugs_class_name="SpecLFBBugs",
+)
+SpecLFBBugs = SpecLFBDefense.bugs_class

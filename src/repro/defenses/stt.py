@@ -15,84 +15,55 @@ STT protects speculatively *accessed* data, not the access instruction's own
   (Figure 9).  Previously reported by DOLMA.  The patched variant delays
   tainted stores like tainted loads; STT campaigns use a 128-page sandbox so
   TLB leakage is observable at all.
+
+In spec terms: the memory path is the baseline's (default visibility) with a
+:class:`TaintPolicy` in front of it — tainted-address loads and stores are
+delayed, and KV3 is the policy's ``store_tlb_bug`` gate.  ``tracks_safety``
+keeps the core's safety-notification stage running (taint reads
+``entry.safe_notified`` without overriding ``on_entry_safe``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from repro.defenses.compile import compile_defense
+from repro.defenses.spec import BugFlag, DefenseSpec, LitmusTag, TaintPolicy
 
-from repro.defenses.base import Defense, DefenseBugs
-from repro.defenses.baseline import BaselineDefense
+SPEC = DefenseSpec(
+    name="stt",
+    description="Block transmitters whose address depends on speculatively loaded data.",
+    contract="ARCH-SEQ",
+    sandbox_pages=128,
+    prime_strategy="fill",
+    tracks_safety=True,
+    taint=TaintPolicy(
+        delay_loads=True,
+        delay_stores=True,
+        load_event="stt_delayed_loads",
+        store_event="stt_delayed_stores",
+        store_tlb_bug="tainted_store_tlb",
+        store_tlb_event="kv3_tainted_store_tlb",
+    ),
+    bugs=(
+        BugFlag(
+            flag="tainted_store_tlb",
+            vulnerability="KV3",
+            description=(
+                "tainted speculative stores still execute their TLB access, "
+                "filling a D-TLB entry that encodes the tainted address"
+            ),
+            default=True,
+            patched=False,
+            event="kv3_tainted_store_tlb",
+        ),
+    ),
+    litmus=(LitmusTag("stt_store_tlb"),),
+    paper_reference="Figure 9 (KV3)",
+)
 
-
-@dataclass
-class STTBugs(DefenseBugs):
-    """Implementation bugs of the public STT gem5 code base."""
-
-    #: KV3 -- tainted speculative stores still access (and fill) the D-TLB.
-    tainted_store_tlb: bool = True
-
-
-class STTDefense(Defense):
-    """Block transmitters whose address depends on speculatively loaded data."""
-
-    name = "stt"
-    recommended_contract = "ARCH-SEQ"
-    recommended_sandbox_pages = 128
-    # Taint tracking reads entry.safe_notified, so the core must keep
-    # running its safety-notification stage even though this defense does
-    # not override on_entry_safe.
-    tracks_safety = True
-
-    def __init__(self, bugs: Optional[STTBugs] = None) -> None:
-        super().__init__(bugs if bugs is not None else STTBugs())
-        self._baseline = BaselineDefense()
-
-    def attach(self, core) -> None:
-        super().attach(core)
-        self._baseline.attach(core)
-
-    # -- taint computation ---------------------------------------------------------
-    def _tainting_loads(self, entry) -> List[object]:
-        """Speculative, still-unsafe loads whose data reaches the address."""
-        producers = self.core.producer_chain(
-            entry, entry.decoded.address_registers
-        )
-        return [
-            producer
-            for producer in producers
-            if producer.is_load
-            and producer.speculative
-            and not producer.safe_notified
-            and not producer.squashed
-        ]
-
-    def _address_is_tainted(self, entry) -> bool:
-        return bool(self._tainting_loads(entry))
-
-    # -- memory path --------------------------------------------------------------------
-    def load_execute(self, entry, cycle: int) -> Optional[int]:
-        if self._address_is_tainted(entry):
-            # Explicit-channel protection: delay the transmitter until the
-            # tainting loads become safe (or this load gets squashed).
-            if self.core is not None:
-                self.core.stats.record_defense_event("stt_delayed_loads")
-            return None
-        return self._baseline.load_execute(entry, cycle)
-
-    def store_execute(self, entry, cycle: int) -> Optional[int]:
-        if self._address_is_tainted(entry):
-            if self.bugs and getattr(self.bugs, "tainted_store_tlb", False):
-                # KV3: the tainted store executes anyway and fills the TLB.
-                tlb_latency = self.memory.dtlb_access(entry.mem_address, install=True)
-                if self.core is not None:
-                    self.core.stats.record_defense_event("kv3_tainted_store_tlb")
-                return 1 + tlb_latency
-            if self.core is not None:
-                self.core.stats.record_defense_event("stt_delayed_stores")
-            return None
-        return self._baseline.store_execute(entry, cycle)
-
-    def commit_store(self, entry, cycle: int) -> None:
-        self._baseline.commit_store(entry, cycle)
+STTDefense = compile_defense(
+    SPEC,
+    module=__name__,
+    class_name="STTDefense",
+    bugs_class_name="STTBugs",
+)
+STTBugs = STTDefense.bugs_class

@@ -44,14 +44,10 @@ class PrimeStrategy(str, Enum):
 #: while being clearly outside any sandbox (max sandbox is 128 pages).
 PRIME_REGION_BASE = 0x1000000
 
-#: Default priming strategy per defense, following Section 3.5 of the paper.
-DEFAULT_PRIME_STRATEGY: Dict[str, PrimeStrategy] = {
-    "baseline": PrimeStrategy.FILL,
-    "invisispec": PrimeStrategy.FILL,
-    "stt": PrimeStrategy.FILL,
-    "cleanupspec": PrimeStrategy.FLUSH,
-    "speclfb": PrimeStrategy.FLUSH,
-}
+#: The default priming strategy follows Section 3.5 of the paper and is
+#: declared by each defense (``Defense.recommended_prime_strategy``, set from
+#: the defense's spec) rather than kept in a hard-coded per-name table here —
+#: entry-point plugins get the right priming without touching the executor.
 
 
 @dataclass
@@ -110,8 +106,8 @@ class SimulatorExecutor:
         probe_defense = self.defense_factory()
         self.defense_name = probe_defense.name
         if prime_strategy is None:
-            prime_strategy = DEFAULT_PRIME_STRATEGY.get(
-                self.defense_name, PrimeStrategy.FILL
+            prime_strategy = getattr(
+                probe_defense, "recommended_prime_strategy", PrimeStrategy.FILL
             )
         self.prime_strategy = PrimeStrategy(prime_strategy)
         self.time = ModeledTime(model=time_model or TimeModel())

@@ -234,18 +234,30 @@ class Corpus:
     def seed_from_litmus(self, defense: Optional[str] = None, sandbox=None) -> int:
         """Seed the corpus from the directed litmus gadgets.
 
-        ``defense`` restricts seeding to that defense's cases (plus the
-        baseline Spectre gadgets, which every defense is meant to stop —
-        mutating them probes the defense's actual protection boundary).
-        ``sandbox`` rebuilds each gadget against the fuzzer's own sandbox so
-        masks and witness-input sizes match the campaign configuration.
-        Returns the number of cases folded in.
+        ``defense`` restricts seeding to that defense's litmus selection
+        (resolved from its spec, so plugin defenses that borrow another
+        defense's gadget seed from it too) plus the baseline Spectre gadgets,
+        which every defense is meant to stop — mutating them probes the
+        defense's actual protection boundary.  ``sandbox`` rebuilds each
+        gadget against the fuzzer's own sandbox so masks and witness-input
+        sizes match the campaign configuration.  Returns the number of cases
+        folded in.
         """
         from repro.litmus.cases import all_cases
 
+        allowed = None
+        if defense is not None:
+            from repro.defenses.conformance import litmus_case_names
+
+            allowed = set(litmus_case_names(defense))
+            try:
+                allowed.update(litmus_case_names("baseline"))
+            except KeyError:  # pragma: no cover - baseline is always built in
+                pass
+
         added = 0
         for case in all_cases():
-            if defense is not None and case.defense not in (defense, "baseline"):
+            if allowed is not None and case.name not in allowed:
                 continue
             case_sandbox = sandbox if sandbox is not None else case.sandbox()
             try:

@@ -61,6 +61,7 @@ class DecodedInstruction:
         "writes_flags",
         "reads_flags",
         "needs_flags_order",
+        "partial_flag_writer",
         "writes_dest_register",
         "source_registers",
         "destination_register",
@@ -109,6 +110,15 @@ class DecodedInstruction:
         # O3 core: explicit flag readers plus partial flag updaters (INC/DEC
         # preserve the carry; shifts leave flags untouched for a zero count).
         self.needs_flags_order: bool = instruction.reads_flags or instruction.opcode in (
+            Opcode.INC,
+            Opcode.DEC,
+            Opcode.SHL,
+            Opcode.SHR,
+        )
+        # Partial flag updaters carry old flag state through: INC/DEC preserve
+        # the carry and zero-count shifts leave every flag untouched, so their
+        # resulting flags (and flag taint) still depend on the previous flags.
+        self.partial_flag_writer: bool = instruction.writes_flags and instruction.opcode in (
             Opcode.INC,
             Opcode.DEC,
             Opcode.SHL,

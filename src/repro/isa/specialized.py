@@ -490,18 +490,24 @@ def _emit_taint_write(
     if has_memory_read:
         parts.append(f"TMEM(a, {entry.mem_size})")
     expr = " | ".join(parts) if parts else "_E"
+    # Partial flag updaters (INC/DEC, zero-count shifts) keep old flag state,
+    # so their flag taint unions the previous flag taint instead of replacing
+    # it — mirrored from the interpreter's _propagate_taint.
+    flags_partial = writes_flags and entry.partial_flag_writer
     targets = []
     if writes_dest and expr != f"TR[{destination!r}]":
         # (the elided case is the identity write TR[d] = TR[d])
         targets.append(f"TR[{destination!r}]")
-    if writes_flags:
+    if writes_flags and not flags_partial:
         targets.append("T.flag_taint")
-    consumers = len(targets) + (1 if writes_memory else 0)
+    consumers = len(targets) + (1 if writes_memory else 0) + (1 if flags_partial else 0)
     if consumers == 0:
         return
     if consumers == 1:
         # Single consumer: assign the expression directly, no temp.
-        if targets:
+        if flags_partial:
+            emitter.emit(1, f"T.flag_taint = T.flag_taint | ({expr})")
+        elif targets:
             emitter.emit(1, f"{targets[0]} = {expr}")
         else:
             emitter.emit(1, f"TSETM(a, {entry.mem_size}, {expr})")
@@ -509,6 +515,8 @@ def _emit_taint_write(
     emitter.emit(1, f"vt = {expr}")
     for target in targets:
         emitter.emit(1, f"{target} = vt")
+    if flags_partial:
+        emitter.emit(1, "T.flag_taint = T.flag_taint | vt")
     if writes_memory:
         emitter.emit(1, f"TSETM(a, {entry.mem_size}, vt)")
 

@@ -328,3 +328,13 @@ def get_case(name: str) -> LitmusCase:
         known = ", ".join(sorted(_BY_NAME))
         raise KeyError(f"unknown litmus case {name!r}; known cases: {known}")
     return _BY_NAME[name]
+
+
+def cases_for_defense(defense: str) -> Tuple[LitmusCase, ...]:
+    """The cases directed at one defense, in declaration order.
+
+    This filters by the case's own ``defense`` field; spec-registered
+    defenses usually resolve their selection (including borrowed cases) via
+    :func:`repro.defenses.conformance.litmus_selection` instead.
+    """
+    return tuple(case for case in _CASES if case.defense == defense)

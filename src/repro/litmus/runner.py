@@ -57,8 +57,17 @@ def run_case(
     case: LitmusCase,
     patched: bool = False,
     bugs=None,
+    defense: Optional[str] = None,
 ) -> LitmusOutcome:
-    """Run a litmus case against its defense (original or patched variant)."""
+    """Run a litmus case against its defense (original or patched variant).
+
+    ``defense`` overrides the case's own defense name: conformance harnesses
+    use it to replay a borrowed case against a different (e.g. plugin)
+    defense.  Expectations recorded on the case apply to the case's own
+    defense; callers overriding it must supply their own (see
+    :class:`~repro.defenses.spec.LitmusTag`).
+    """
+    defense_name = defense or case.defense
     sandbox = case.sandbox()
     program, input_a, input_b = case.build()
 
@@ -72,7 +81,7 @@ def run_case(
 
     # 2. Run both inputs on the simulator from the same starting context.
     executor = SimulatorExecutor(
-        defense_factory=lambda: create_defense(case.defense, patched=patched, bugs=bugs),
+        defense_factory=lambda: create_defense(defense_name, patched=patched, bugs=bugs),
         uarch_config=case.uarch_config,
         sandbox=sandbox,
         trace_config=case.trace_config,

@@ -446,7 +446,12 @@ class Emulator:
         if destination is not None:
             taint.set_register(destination, value_taint)
         if entry.writes_flags:
-            taint.set_flags(value_taint)
+            if entry.partial_flag_writer:
+                # INC/DEC preserve the carry and zero-count shifts preserve
+                # every flag, so the old flag provenance survives the write.
+                taint.set_flags(value_taint | taint.flag_taint)
+            else:
+                taint.set_flags(value_taint)
         if effect.memory_write is not None:
             address, size, _ = effect.memory_write
             taint.set_memory(address, size, value_taint)

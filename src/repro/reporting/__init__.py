@@ -1,13 +1,20 @@
 """Reporting utilities: paper-style tables and the experiment registry."""
 
-from repro.reporting.tables import format_table, render_breakdown_table, render_triage_table
-from repro.reporting.loc import count_defense_loc, loc_table
+from repro.reporting.tables import (
+    format_table,
+    render_breakdown_table,
+    render_conformance_table,
+    render_triage_table,
+)
+from repro.reporting.loc import count_defense_loc, loc_table, spec_kit_loc
 from repro.reporting.experiments import EXPERIMENTS, Experiment, get_experiment
 
 __all__ = [
     "format_table",
     "render_breakdown_table",
+    "render_conformance_table",
     "render_triage_table",
+    "spec_kit_loc",
     "count_defense_loc",
     "loc_table",
     "EXPERIMENTS",

@@ -74,6 +74,42 @@ def rows_to_markdown(rows: Iterable[Mapping[str, object]], columns: Sequence[str
     return "\n".join(lines)
 
 
+def render_conformance_table(reports) -> str:
+    """Render generated conformance harness results, one row per check.
+
+    ``reports`` is an iterable of
+    :class:`~repro.defenses.conformance.ConformanceReport`; litmus rows come
+    first (with their expectations), followed by one row per smoke campaign.
+    """
+    rows: List[Dict[str, object]] = []
+    for report in reports:
+        for check in report.litmus:
+            rows.append(
+                {
+                    "defense": report.defense,
+                    "check": f"litmus:{check.case}",
+                    "variant": check.variant,
+                    "violation": check.violation,
+                    "expected": check.expected,
+                    "ok": check.ok,
+                }
+            )
+        for smoke in report.smoke:
+            rows.append(
+                {
+                    "defense": report.defense,
+                    "check": f"smoke:{smoke.contract}",
+                    "variant": smoke.variant,
+                    "violation": smoke.detected,
+                    "expected": None,
+                    "ok": True,
+                }
+            )
+    return format_table(
+        rows, ["defense", "check", "variant", "violation", "expected", "ok"]
+    )
+
+
 def render_triage_table(report) -> str:
     """Render a triage report's clusters as a paper-style text table.
 

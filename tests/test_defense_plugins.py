@@ -1,0 +1,213 @@
+"""Entry-point plugin discovery and in-process defense registration.
+
+The example plugin under ``examples/undospec_plugin`` doubles as the test
+fixture: a stub distribution (a monkeypatched ``importlib.metadata.
+entry_points``) serves its entry point exactly the way an installed
+third-party package would, without installing anything.
+"""
+
+from __future__ import annotations
+
+import sys
+import types
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import FuzzerConfig
+from repro.core.fuzzer import AmuletFuzzer
+from repro.defenses import registry as registry_module
+from repro.defenses.base import Defense
+from repro.defenses.compile import compile_defense
+from repro.defenses.registry import (
+    DefenseRegistry,
+    DuplicateDefenseError,
+    available_defenses,
+    create_defense,
+    describe_defenses,
+    register_defense,
+    registry,
+    unregister_defense,
+)
+
+PLUGIN_DIR = Path(__file__).resolve().parent.parent / "examples" / "undospec_plugin"
+if str(PLUGIN_DIR) not in sys.path:
+    sys.path.insert(0, str(PLUGIN_DIR))
+
+import undospec_plugin  # noqa: E402  (needs the sys.path entry above)
+
+
+class _StubEntryPoint:
+    """The shape ``importlib.metadata.entry_points`` yields for a plugin."""
+
+    def __init__(self, name, target, dist_name="amulet-undospec"):
+        self.name = name
+        self._target = target
+        self.dist = types.SimpleNamespace(name=dist_name)
+
+    def load(self):
+        return self._target
+
+
+def _stub_entry_points(monkeypatch, *entry_points):
+    def fake_entry_points(*, group):
+        assert group == registry_module.ENTRY_POINT_GROUP
+        return list(entry_points)
+
+    monkeypatch.setattr(
+        registry_module.importlib_metadata, "entry_points", fake_entry_points
+    )
+
+
+@pytest.fixture
+def clean_global_registry():
+    """Guarantee the plugin never leaks into the process-wide registry."""
+    yield registry
+    unregister_defense("undospec")
+
+
+class TestEntryPointDiscovery:
+    def test_fresh_registry_discovers_stub_distribution(self, monkeypatch):
+        _stub_entry_points(
+            monkeypatch,
+            _StubEntryPoint("undospec", undospec_plugin.UndoSpecDefense),
+        )
+        fresh = DefenseRegistry()
+        assert "undospec" in fresh.names()
+        assert fresh.get("undospec") is undospec_plugin.UndoSpecDefense
+        assert "amulet-undospec" in fresh.source("undospec")
+
+    def test_entry_point_may_resolve_to_a_spec_or_callable(self, monkeypatch):
+        _stub_entry_points(
+            monkeypatch,
+            _StubEntryPoint("undospec", undospec_plugin.SPEC),
+        )
+        fresh = DefenseRegistry()
+        cls = fresh.get("undospec")
+        assert issubclass(cls, Defense)
+        assert cls.SPEC is undospec_plugin.SPEC
+
+        _stub_entry_points(
+            monkeypatch,
+            _StubEntryPoint("undospec", lambda: undospec_plugin.UndoSpecDefense),
+        )
+        lazy = DefenseRegistry()
+        assert lazy.get("undospec") is undospec_plugin.UndoSpecDefense
+
+    def test_rejects_unregistrable_target(self, monkeypatch):
+        _stub_entry_points(monkeypatch, _StubEntryPoint("junk", object()))
+        fresh = DefenseRegistry()
+        with pytest.raises(TypeError):
+            fresh.names()
+
+    def test_global_registry_discovers_resolves_patched_and_runs_a_round(
+        self, monkeypatch, clean_global_registry
+    ):
+        _stub_entry_points(
+            monkeypatch,
+            _StubEntryPoint("undospec", undospec_plugin.UndoSpecDefense),
+        )
+        registry.refresh()
+        try:
+            assert "undospec" in available_defenses()
+
+            buggy = create_defense("undospec")
+            patched = create_defense("undospec", patched=True)
+            assert buggy.describe()["bugs"]["store_not_cleaned"] is True
+            assert patched.describe()["bugs"]["store_not_cleaned"] is False
+            assert buggy.recommended_prime_strategy == "flush"
+
+            config = FuzzerConfig(
+                defense="undospec",
+                programs_per_instance=1,
+                inputs_per_program=8,
+                seed=5,
+            )
+            report = AmuletFuzzer(config).run()
+            assert report.defense == "undospec"
+            assert report.test_cases_executed > 0
+        finally:
+            # Re-arm lazy discovery so later tests see only real entry points.
+            registry.refresh()
+
+
+class TestDuplicateNames:
+    def test_registering_the_identical_class_is_idempotent(self):
+        fresh = DefenseRegistry(entry_point_group=None)
+        fresh.register(undospec_plugin.UndoSpecDefense)
+        fresh.register(undospec_plugin.UndoSpecDefense)
+        assert fresh.names() == ("undospec",)
+
+    def test_different_class_with_same_name_collides(self):
+        fresh = DefenseRegistry(entry_point_group=None)
+        fresh.register(undospec_plugin.UndoSpecDefense)
+        impostor = compile_defense(undospec_plugin.SPEC)
+        assert impostor is not undospec_plugin.UndoSpecDefense
+        with pytest.raises(DuplicateDefenseError) as excinfo:
+            fresh.register(impostor, source="entry point 'undospec'")
+        assert "undospec" in str(excinfo.value)
+
+    def test_entry_point_colliding_with_builtin_raises(self, monkeypatch):
+        impostor = compile_defense(undospec_plugin.SPEC)
+        _stub_entry_points(
+            monkeypatch,
+            _StubEntryPoint("undospec", undospec_plugin.UndoSpecDefense),
+            _StubEntryPoint("undospec-again", impostor, dist_name="evil-twin"),
+        )
+        fresh = DefenseRegistry()
+        with pytest.raises(DuplicateDefenseError) as excinfo:
+            fresh.names()
+        assert "evil-twin" in str(excinfo.value)
+
+    def test_default_name_is_rejected(self):
+        fresh = DefenseRegistry(entry_point_group=None)
+
+        class Nameless(Defense):
+            """A defense that forgot to pick a registry name."""
+
+        with pytest.raises(ValueError):
+            fresh.register(Nameless)
+
+
+class TestDescribeFallbacks:
+    def test_docstring_less_plugin_class_uses_spec_description(self):
+        fresh = DefenseRegistry(entry_point_group=None)
+
+        class NoDocstring(undospec_plugin.UndoSpecDefense):
+            name = "nodoc"
+
+        assert NoDocstring.__doc__ is None
+        fresh.register(NoDocstring)
+        (row,) = fresh.describe()
+        assert row["description"] == undospec_plugin.SPEC.description
+
+    def test_docstring_less_spec_less_class_degrades_to_empty(self):
+        fresh = DefenseRegistry(entry_point_group=None)
+
+        class Bare(Defense):
+            name = "bare"
+
+        Bare.__doc__ = None
+        fresh.register(Bare)
+        (row,) = fresh.describe()
+        assert row["description"] == ""
+
+    def test_global_describe_defenses_never_crashes(self, clean_global_registry):
+        register_defense(undospec_plugin.UndoSpecDefense)
+        rows = describe_defenses()
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["undospec"]["description"]
+        assert by_name["undospec"]["source"] == "api"
+
+
+class TestPluginCorpusSeeding:
+    def test_borrowed_litmus_cases_seed_the_corpus(self, clean_global_registry):
+        from repro.feedback.corpus import Corpus
+
+        register_defense(undospec_plugin.UndoSpecDefense)
+        corpus = Corpus()
+        added = corpus.seed_from_litmus(defense="undospec")
+        # The four borrowed CleanupSpec gadgets plus the baseline Spectre
+        # gadgets the selection always includes.
+        assert added >= 5
+        assert corpus.origin_histogram().get("litmus", 0) == added

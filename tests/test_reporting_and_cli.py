@@ -49,10 +49,12 @@ class TestLocAccounting:
     def test_every_defense_has_a_nonzero_breakdown(self):
         for row in loc_table():
             assert row["defense_model_loc"] > 0
+            assert row["spec_kit_loc"] > 0
             assert row["executor_plumbing_loc"] > 0
             assert row["trace_extraction_loc"] > 0
             assert row["total_loc"] == (
                 row["defense_model_loc"]
+                + row["spec_kit_loc"]
                 + row["executor_plumbing_loc"]
                 + row["trace_extraction_loc"]
             )
@@ -60,8 +62,19 @@ class TestLocAccounting:
     def test_defense_model_is_the_smaller_part(self):
         """Most integration code is shared plumbing, as in the paper."""
         breakdown = count_defense_loc("invisispec")
-        shared = breakdown["executor_plumbing"] + breakdown["trace_extraction"]
-        assert breakdown["defense_model"] < 3 * shared
+        shared = (
+            breakdown["spec_kit"]
+            + breakdown["executor_plumbing"]
+            + breakdown["trace_extraction"]
+        )
+        assert breakdown["defense_model"] < shared
+
+    def test_spec_declarations_are_small(self):
+        """Every built-in countermeasure's spec declaration is <100 lines."""
+        for row in loc_table():
+            assert row["spec_loc"] is not None
+            assert 0 < row["spec_loc"] < 100
+            assert row["spec_loc"] <= row["defense_model_loc"]
 
 
 class TestExperimentRegistry:
@@ -109,6 +122,24 @@ class TestCli:
     def test_cli_rejects_unknown_defense(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--defense", "bogus"])
+
+    def test_cli_describe_defense_prints_the_full_spec(self, capsys):
+        exit_code = main(["--describe-defense", "cleanupspec"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "bug flags" in out
+        assert "UV3" in out and "patched variant sets False" in out
+        assert "UV4" in out and "not addressed by the patch" in out
+        assert "prime_strategy    : flush" in out
+        assert "event policy" in out
+        assert "litmus cases" in out
+        assert "source            : builtin" in out
+
+    def test_cli_describe_defense_rejects_unknown_name(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--describe-defense", "securespec9000"])
+        assert excinfo.value.code == 2
+        assert "unknown defense" in capsys.readouterr().err
 
     def test_cli_amplification_flags(self, capsys):
         exit_code = main(
