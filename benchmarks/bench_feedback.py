@@ -38,6 +38,7 @@ from typing import Dict, List, Optional
 
 from repro.backends import InlineBackend, ProcessPoolBackend
 from repro.core import Campaign, FuzzerConfig
+from repro.core.io import atomic_write_json
 from repro.core.filtering import unique_violations
 from repro.feedback import Corpus, GenerationStrategy
 
@@ -222,15 +223,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "comparison": comparison,
         "corpus_roundtrip": roundtrip,
     }
-    os.makedirs(os.path.dirname(ARTIFACT_PATH), exist_ok=True)
     destination = (
         ARTIFACT_PATH
         if not args.smoke
         else ARTIFACT_PATH.replace(".json", "_smoke.json")
     )
-    with open(destination, "w") as handle:
-        json.dump(artifact, handle, indent=2)
-        handle.write("\n")
+    atomic_write_json(destination, artifact)
     print(f"[artifact] {os.path.relpath(destination)}")
 
     if args.check:

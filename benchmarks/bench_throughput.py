@@ -71,6 +71,7 @@ from repro.backends.simshard import (
 )
 from repro.core import Campaign, FilterLevel, FuzzerConfig
 from repro.core.filtering import unique_violations
+from repro.core.io import atomic_write_json
 from repro.executor.executor import ExecutionMode, SimulatorExecutor
 from repro.executor.traces import UarchTrace
 from repro.generator.config import GeneratorConfig
@@ -812,9 +813,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
 
     if args.record_baseline:
-        with open(BASELINE_PATH, "w") as handle:
-            json.dump(suite, handle, indent=2)
-            handle.write("\n")
+        atomic_write_json(BASELINE_PATH, suite)
         print(f"[baseline] recorded to {os.path.relpath(BASELINE_PATH)}")
         return 0
 
@@ -882,10 +881,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     destination = artifact_path(
         filter_level, specialize=args.specialize, sim_workers=args.sim_workers
     )
-    os.makedirs(os.path.dirname(destination), exist_ok=True)
-    with open(destination, "w") as handle:
-        json.dump(artifact, handle, indent=2)
-        handle.write("\n")
+    atomic_write_json(destination, artifact)
     print(f"[artifact] {os.path.relpath(destination)}")
 
     exit_code = 0

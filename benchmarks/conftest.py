@@ -32,12 +32,10 @@ def _artifact_name(label: str) -> str:
 
 def write_artifact(name: str, label: str, rows) -> str:
     """Write one table's rows as ``benchmarks/artifacts/BENCH_<name>.json``."""
-    os.makedirs(ARTIFACT_DIR, exist_ok=True)
+    from repro.core.io import atomic_write_json
+
     path = os.path.join(ARTIFACT_DIR, f"BENCH_{name}.json")
-    with open(path, "w") as handle:
-        json.dump({"label": label, "rows": rows}, handle, indent=2, default=str)
-        handle.write("\n")
-    return path
+    return atomic_write_json(path, {"label": label, "rows": rows})
 
 
 def attach_rows(benchmark, label: str, rows, artifact: str = None) -> None:

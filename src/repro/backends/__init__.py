@@ -16,7 +16,12 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple, Type
 
-from repro.backends.base import CampaignPlan, ExecutionBackend, RoundCallback
+from repro.backends.base import (
+    CampaignPlan,
+    ExecutionBackend,
+    RoundCallback,
+    StateCallback,
+)
 from repro.backends.inline import InlineBackend
 from repro.backends.process_pool import ProcessPoolBackend
 
@@ -41,7 +46,9 @@ def get_backend(
 
     ``workers``, ``chunk_size`` and ``map_chunksize`` only apply to pooled
     backends; the inline backend accepts and ignores them so callers can
-    resolve uniformly from a single config.
+    resolve uniformly from a single config.  (Supervision knobs —
+    ``max_retries``, backoff, deadlines — travel with the plan's configs,
+    not the registry.)
     """
     key = name.lower()
     if key not in _BACKENDS:
@@ -58,6 +65,7 @@ __all__ = [
     "InlineBackend",
     "ProcessPoolBackend",
     "RoundCallback",
+    "StateCallback",
     "available_backends",
     "get_backend",
 ]

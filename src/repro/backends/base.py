@@ -36,6 +36,12 @@ class CampaignPlan:
     configs: Tuple[FuzzerConfig, ...]
     #: Cancel all outstanding work campaign-wide at the first violation.
     stop_on_violation: bool = False
+    #: Per-instance resume snapshots (:meth:`AmuletFuzzer.state_dict`
+    #: payloads), aligned with ``configs``; ``None`` entries (and a plan
+    #: with no states at all) start fresh.  Backends restore each instance
+    #: from its snapshot before running rounds, so a resumed campaign
+    #: continues the deterministic stream exactly where it stopped.
+    initial_states: Tuple[Optional[dict], ...] = ()
 
     @property
     def instances(self) -> int:
@@ -46,9 +52,22 @@ class CampaignPlan:
         """Total rounds the plan would execute if nothing stops early."""
         return sum(config.programs_per_instance for config in self.configs)
 
+    def initial_state(self, instance_index: int) -> Optional[dict]:
+        """Resume snapshot for one instance (None: start fresh)."""
+        if instance_index < len(self.initial_states):
+            return self.initial_states[instance_index]
+        return None
+
 
 #: Streaming callback: ``on_round(instance_index, round_result)``.
 RoundCallback = Callable[[int, RoundResult], None]
+
+#: Snapshot callback: ``on_state(instance_index, state_dict)``.  Backends
+#: invoke it with a fresh :meth:`AmuletFuzzer.state_dict` snapshot at state
+#: boundaries (periodically, when an instance finishes, and when a stop
+#: drains); checkpoint writers fold the latest snapshots into the
+#: campaign checkpoint.
+StateCallback = Callable[[int, dict], None]
 
 
 class ExecutionBackend(ABC):
@@ -57,11 +76,28 @@ class ExecutionBackend(ABC):
     #: Registry key and the name reported in campaign summaries.
     name: str = "abstract"
 
+    #: Worker processes this backend had to force-kill during its last
+    #: ``run`` (teardown ``terminate()`` after an unanswered ``join``, or a
+    #: deadline overrun).  Zero on a healthy run; campaign summaries surface
+    #: the counter so shutdown raciness is visible instead of silent.
+    force_kills: int = 0
+
     @abstractmethod
     def run(
-        self, plan: CampaignPlan, on_round: Optional[RoundCallback] = None
+        self,
+        plan: CampaignPlan,
+        on_round: Optional[RoundCallback] = None,
+        on_state: Optional["StateCallback"] = None,
+        stop_event: Optional[Any] = None,
+        state_interval: int = 10,
     ) -> List[FuzzerReport]:
-        """Execute ``plan``; stream rounds to ``on_round``; return per-instance reports."""
+        """Execute ``plan``; stream rounds to ``on_round``; return per-instance reports.
+
+        ``on_state`` (optional) receives periodic resume snapshots per
+        instance; ``stop_event`` (a ``threading.Event``-like object,
+        optional) requests a graceful stop: in-flight rounds drain, final
+        snapshots flush, and partial reports are returned.
+        """
 
     def map_items(
         self, fn: Callable[[Any], Any], items: Sequence[Any]

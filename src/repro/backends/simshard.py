@@ -51,10 +51,13 @@ import multiprocessing
 import os
 import pickle
 import queue as queue_module
+import signal
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.backends.faults import fault_plan, reset_fault_plan
 
 from repro.executor.executor import (
     ExecutionMode,
@@ -594,8 +597,22 @@ def run_contract_tasks_inline(
 # ---------------------------------------------------------------------------
 
 
-def _sim_worker_main(worker_index: int, task_queue, result_queue) -> None:
-    """Worker loop: simulate task batches, serve second-pass fetches."""
+def _sim_worker_main(
+    worker_index: int, generation: int, task_queue, result_queue
+) -> None:
+    """Worker loop: simulate task batches, serve second-pass fetches.
+
+    ``generation`` counts this slot's incarnations: it rides along on every
+    result so the supervisor can tell live messages from a replaced
+    incarnation's stragglers, and it keys deterministic fault injection
+    (a fault matched on ``generation: 0`` dies once and lets the respawn
+    replay the task cleanly).
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # Forked workers inherit the parent's parsed plan; re-read the
+    # environment so per-worker match keys see this process's context.
+    reset_fault_plan()
+    plan = fault_plan()
     executors: Dict[ExecutorSpec, SimulatorExecutor] = {}
     contract_runner = ContractRunner()
     held: Dict[int, List[ExecutionRecord]] = {}
@@ -606,19 +623,33 @@ def _sim_worker_main(worker_index: int, task_queue, result_queue) -> None:
             if kind == "sim":
                 tasks: List[SimulationTask] = loads_oob(message[1], message[2])
                 for task in tasks:
+                    context = {
+                        "worker": worker_index,
+                        "task": task.task_id,
+                        "generation": generation,
+                    }
+                    plan.maybe_delay("sim_worker", **context)
+                    plan.maybe_kill("sim_worker", **context)
                     result, records = run_simulation_task(task, executors)
                     held[task.task_id] = records
                     payload = pickle.dumps(result, protocol=5)
-                    result_queue.put(("result", worker_index, payload))
+                    result_queue.put(("result", worker_index, generation, payload))
             elif kind == "contract":
                 contract_tasks: List[ContractTask] = loads_oob(
                     message[1], message[2]
                 )
                 for contract_task in contract_tasks:
+                    context = {
+                        "worker": worker_index,
+                        "task": contract_task.task_id,
+                        "generation": generation,
+                    }
+                    plan.maybe_delay("sim_contract", **context)
+                    plan.maybe_kill("sim_contract", **context)
                     outcome = contract_runner.run(contract_task)
                     payload, buffers = dumps_oob(outcome)
                     result_queue.put(
-                        ("cresult", worker_index, payload, buffers)
+                        ("cresult", worker_index, generation, payload, buffers)
                     )
             elif kind == "fetch":
                 task_id, indices = message[1], message[2]
@@ -632,7 +663,9 @@ def _sim_worker_main(worker_index: int, task_queue, result_queue) -> None:
                     for index in indices
                 }
                 payload = pickle.dumps(full, protocol=5)
-                result_queue.put(("full", worker_index, task_id, payload))
+                result_queue.put(
+                    ("full", worker_index, generation, task_id, payload)
+                )
             elif kind == "release":
                 for task_id in message[1]:
                     held.pop(task_id, None)
@@ -642,76 +675,285 @@ def _sim_worker_main(worker_index: int, task_queue, result_queue) -> None:
             result_queue.put(("error", worker_index, traceback.format_exc()))
 
 
+class _SimWorkerSlot:
+    """One supervised worker position: a process plus its incarnation state."""
+
+    __slots__ = (
+        "index",
+        "process",
+        "task_queue",
+        "generation",
+        "retries",
+        "last_activity",
+        "disabled",
+    )
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.process = None
+        self.task_queue = None
+        self.generation = -1
+        self.retries = 0
+        self.last_activity = 0.0
+        self.disabled = False
+
+
 class SimWorkerPool:
-    """A persistent pool of simulation workers with per-worker task queues.
+    """A supervised, persistent pool of simulation workers.
 
     Tasks are assigned with a deterministic longest-processing-time
     heuristic (estimated by input count), one batched message per worker per
     round; results stream back over a shared queue and are re-ordered by
-    task id.  The pool remembers which worker ran which task so the
-    second-pass ``fetch`` can be targeted.
+    task id.  The pool remembers which worker incarnation ran which task so
+    the second-pass ``fetch`` can be targeted.
+
+    Supervision: the collect loops poll the result queue and, while idle,
+    check each busy slot for death (or a ``task_timeout_seconds`` deadline
+    overrun, which force-kills the straggler).  A lost slot is respawned
+    with exponential backoff — a fresh incarnation with a fresh task queue —
+    and its outstanding tasks are re-dispatched; because every task is a
+    pure function of its payload, replayed results are byte-identical and
+    stale duplicates from the dead incarnation are simply dropped.  Beyond
+    ``max_retries`` respawns a slot is disabled; once every slot is
+    disabled, remaining tasks run inline on the coordinator (still in the
+    compact-record shape, so a round never mixes digest and full traces).
+    Full records lost with a dead incarnation are re-simulated inline on
+    fetch from the coordinator-retained task payloads.
     """
 
-    def __init__(self, workers: int) -> None:
+    def __init__(
+        self,
+        workers: int,
+        max_retries: int = 2,
+        retry_backoff_seconds: float = 0.05,
+        task_timeout_seconds: Optional[float] = None,
+    ) -> None:
         if workers < 1:
             raise ValueError("a simulation pool needs at least 1 worker")
         self.workers = workers
-        context = multiprocessing.get_context()
-        self._results = context.Queue()
-        self._task_queues = [context.Queue() for _ in range(workers)]
-        self._processes = [
-            context.Process(
-                target=_sim_worker_main,
-                args=(index, self._task_queues[index], self._results),
-                daemon=True,
-            )
-            for index in range(workers)
-        ]
-        for process in self._processes:
-            process.start()
-        self._task_worker: Dict[int, int] = {}
+        self.max_retries = max_retries
+        self.retry_backoff_seconds = retry_backoff_seconds
+        self.task_timeout_seconds = task_timeout_seconds
+        self._context = multiprocessing.get_context()
+        self._results = self._context.Queue()
+        self._slots = [_SimWorkerSlot(index) for index in range(workers)]
+        for slot in self._slots:
+            self._spawn(slot)
+        #: task_id -> (slot index, generation) of the incarnation holding the
+        #: task's full records (set when the result is accepted).
+        self._task_worker: Dict[int, Tuple[int, int]] = {}
+        #: Dispatched task payloads, kept until release so lost records can
+        #: be re-simulated inline (retention window: one round).
+        self._retained: Dict[int, SimulationTask] = {}
+        #: Full records produced on the coordinator (inline degradation or
+        #: fetch-time re-simulation), served directly by ``fetch``.
+        self._local_records: Dict[int, List[ExecutionRecord]] = {}
+        #: Tasks whose worker-held records died with their incarnation.
+        self._lost_records: Set[int] = set()
+        #: Salvaged messages drained ahead of loss handling, consumed first.
+        self._backlog: List[tuple] = []
+        self._inline_executors: Dict[ExecutorSpec, SimulatorExecutor] = {}
+        self._inline_contract_runner: Optional[ContractRunner] = None
         self._closed = False
         #: Cumulative transport accounting (read by benchmarks/reports).
         self.sent_bytes = 0
         self.result_bytes = 0
         self.fetch_bytes = 0
         self.fetched_entries = 0
+        #: Cumulative supervision accounting (mirrored into reports).
+        self.fault_counters: Dict[str, int] = {}
+        self.force_kills = 0
+
+    @property
+    def degraded(self) -> bool:
+        """True once any slot has been disabled (retry budget exhausted)."""
+        return any(slot.disabled for slot in self._slots)
+
+    def _count_fault(self, reason: str, count: int = 1) -> None:
+        self.fault_counters[reason] = self.fault_counters.get(reason, 0) + count
+
+    # -- worker lifecycle -----------------------------------------------------
+    def _spawn(self, slot: _SimWorkerSlot) -> None:
+        """Start a fresh incarnation in ``slot`` (its own new task queue)."""
+        old_queue = slot.task_queue
+        slot.generation += 1
+        slot.task_queue = self._context.Queue()
+        slot.process = self._context.Process(
+            target=_sim_worker_main,
+            args=(slot.index, slot.generation, slot.task_queue, self._results),
+            daemon=True,
+        )
+        slot.process.start()
+        slot.last_activity = time.monotonic()
+        if old_queue is not None:
+            # The dead incarnation's queue (and whatever undelivered messages
+            # it still holds) is abandoned; free its feeder thread.
+            try:
+                old_queue.close()
+            except (ValueError, OSError):  # pragma: no cover - teardown race
+                pass
+
+    def _enabled_slots(self) -> List[_SimWorkerSlot]:
+        return [slot for slot in self._slots if not slot.disabled]
+
+    def _supervise_slot(self, slot: _SimWorkerSlot, reason: str) -> None:
+        """A slot's incarnation was lost: account, invalidate, respawn/disable."""
+        self._count_fault(reason)
+        # Full records held by the dying incarnation are gone; remember the
+        # task ids so fetch falls back to inline re-simulation.
+        for task_id, (index, generation) in list(self._task_worker.items()):
+            if index == slot.index and generation == slot.generation:
+                del self._task_worker[task_id]
+                self._lost_records.add(task_id)
+        slot.retries += 1
+        if slot.retries > self.max_retries:
+            slot.disabled = True
+        else:
+            time.sleep(self.retry_backoff_seconds * (2 ** (slot.retries - 1)))
+            self._spawn(slot)
 
     # -- scheduling -----------------------------------------------------------
-    def _assign(self, tasks: Sequence, weight) -> List[List]:
-        """Deterministic LPT assignment by estimated task weight."""
+    def _dispatch(self, kind: str, tasks: Sequence, weight, pending, assignment):
+        """LPT-shard ``tasks`` across the enabled slots and send the shards."""
+        enabled = self._enabled_slots()
         order = sorted(
             range(len(tasks)), key=lambda i: (-weight(tasks[i]), tasks[i].task_id)
         )
-        loads = [0] * self.workers
-        shards: List[List] = [[] for _ in range(self.workers)]
+        loads = [0] * len(enabled)
+        shards: List[List] = [[] for _ in enabled]
         for index in order:
             target = loads.index(min(loads))
             shards[target].append(tasks[index])
             loads[target] += max(1, weight(tasks[index]))
-        return shards
+        for slot, shard in zip(enabled, shards):
+            if not shard:
+                continue
+            payload, buffers = dumps_oob(shard)
+            self.sent_bytes += len(payload) + sum(len(buffer) for buffer in buffers)
+            slot.task_queue.put((kind, payload, buffers))
+            slot.last_activity = time.monotonic()
+            for task in shard:
+                pending[task.task_id] = task
+                assignment[task.task_id] = (slot.index, slot.generation)
 
-    def _receive(self, expect_kinds: Tuple[str, ...]):
+    def _outstanding(self, slot: _SimWorkerSlot, pending, assignment) -> List[int]:
+        return [
+            task_id
+            for task_id in pending
+            if assignment.get(task_id) == (slot.index, slot.generation)
+        ]
+
+    def _next_message(self):
+        if self._backlog:
+            return self._backlog.pop(0)
+        return self._results.get(timeout=_POLL_SECONDS)
+
+    def _drain_into_backlog(self) -> bool:
+        drained = False
         while True:
             try:
-                message = self._results.get(timeout=_POLL_SECONDS)
+                self._backlog.append(self._results.get_nowait())
+                drained = True
             except queue_module.Empty:
-                if not any(process.is_alive() for process in self._processes):
-                    try:
-                        message = self._results.get_nowait()
-                    except queue_module.Empty:
-                        raise RuntimeError(
-                            "a simulation worker died without reporting"
-                        ) from None
-                else:
-                    continue
-            if message[0] == "error":
-                raise RuntimeError(f"simulation worker failed:\n{message[2]}")
-            if message[0] in expect_kinds:
-                return message
-            # A stale message kind (cannot happen in the request/response
-            # protocol, but never spin silently on one).
-            raise RuntimeError(f"unexpected simulation-pool message {message[0]!r}")
+                return drained
+
+    def _check_liveness(self, kind, pending, assignment, complete):
+        """Idle tick: detect dead/overdue slots, recover their outstanding work.
+
+        ``complete(task, outcome_or_none)`` finishes one task inline when no
+        worker can run it (outcome in the same compact shape as pooled ones).
+        """
+        now = time.monotonic()
+        for slot in self._slots:
+            if slot.disabled:
+                continue
+            outstanding = self._outstanding(slot, pending, assignment)
+            if not outstanding:
+                continue
+            reason = None
+            if not slot.process.is_alive():
+                reason = "sim_worker_death"
+            elif (
+                self.task_timeout_seconds is not None
+                and now - slot.last_activity > self.task_timeout_seconds
+            ):
+                slot.process.kill()
+                slot.process.join(timeout=5)
+                self.force_kills += 1
+                reason = "sim_deadline"
+            if reason is None:
+                continue
+            # Salvage results the incarnation sent before dying; process them
+            # first (duplicates of replayed tasks are dropped harmlessly, but
+            # completed work must not be replayed needlessly).
+            if self._drain_into_backlog():
+                return
+            self._supervise_slot(slot, reason)
+            for task_id in outstanding:
+                assignment.pop(task_id, None)
+            lost_tasks = [pending[task_id] for task_id in outstanding]
+            if self._enabled_slots():
+                weight = (
+                    (lambda task: len(task.inputs))
+                    if kind == "sim"
+                    else (lambda task: 1 + task.spec.boost_factor)
+                )
+                self._dispatch(kind, lost_tasks, weight, pending, assignment)
+            else:
+                self._count_fault("sim_inline_fallback", len(lost_tasks))
+                for task in lost_tasks:
+                    del pending[task.task_id]
+                    complete(task)
+            return
+
+    # -- inline degradation ---------------------------------------------------
+    def _run_sim_inline(self, task: SimulationTask) -> TaskOutcome:
+        """Run one task on the coordinator, in the pooled compact shape.
+
+        The outcome carries :class:`RemoteRecord`\\ s (digest traces), never
+        full records — a round must stay all-digest — with the full records
+        retained locally so ``fetch`` serves them without a worker.
+        """
+        result, records = run_simulation_task(task, self._inline_executors)
+        self._local_records[task.task_id] = records
+        return TaskOutcome(
+            task_id=result.task_id,
+            records=[
+                RemoteRecord(result.task_id, index, compact)
+                for index, compact in enumerate(result.compact)
+            ],
+            modeled_seconds=result.modeled_seconds,
+            wall_clock_seconds=result.wall_clock_seconds,
+            simulator_starts=result.simulator_starts,
+            pooled=False,
+            elapsed_seconds=result.elapsed_seconds,
+        )
+
+    def _run_contract_inline(self, task: ContractTask) -> ContractOutcome:
+        if self._inline_contract_runner is None:
+            self._inline_contract_runner = ContractRunner()
+        return self._inline_contract_runner.run(task)
+
+    def _fetch_local(self, task_id: int, indices: Sequence[int]) -> Dict[int, FullRecord]:
+        records = self._local_records.get(task_id)
+        if records is None:
+            task = self._retained.get(task_id)
+            if task is None:
+                raise KeyError(
+                    f"simulation task {task_id} is no longer retained"
+                )
+            self._count_fault("sim_refetch_resimulated")
+            _, records = run_simulation_task(task, self._inline_executors)
+            self._local_records[task_id] = records
+        self.fetched_entries += len(indices)
+        return {
+            index: FullRecord(
+                trace=records[index].trace,
+                uarch_context=records[index].materialized_context(),
+                result=records[index].result,
+            )
+            for index in indices
+        }
 
     # -- public API -----------------------------------------------------------
     def map(self, tasks: Sequence[SimulationTask]) -> List[TaskOutcome]:
@@ -720,21 +962,46 @@ class SimWorkerPool:
             raise RuntimeError("simulation pool is closed")
         if not tasks:
             return []
-        for shard_index, shard in enumerate(
-            self._assign(tasks, lambda task: len(task.inputs))
-        ):
-            if not shard:
-                continue
-            payload, buffers = dumps_oob(shard)
-            self.sent_bytes += len(payload) + sum(len(buffer) for buffer in buffers)
-            self._task_queues[shard_index].put(("sim", payload, buffers))
-            for task in shard:
-                self._task_worker[task.task_id] = shard_index
+        for task in tasks:
+            self._retained[task.task_id] = task
         outcomes: Dict[int, TaskOutcome] = {}
+        pending: Dict[int, SimulationTask] = {}
+        assignment: Dict[int, Tuple[int, int]] = {}
+        if self._enabled_slots():
+            self._dispatch(
+                "sim", list(tasks), lambda task: len(task.inputs), pending, assignment
+            )
+        else:
+            self._count_fault("sim_inline_fallback", len(tasks))
+            for task in tasks:
+                outcomes[task.task_id] = self._run_sim_inline(task)
         while len(outcomes) < len(tasks):
-            _, _, payload = self._receive(("result",))
+            try:
+                message = self._next_message()
+            except queue_module.Empty:
+                self._check_liveness(
+                    "sim",
+                    pending,
+                    assignment,
+                    lambda task: outcomes.__setitem__(
+                        task.task_id, self._run_sim_inline(task)
+                    ),
+                )
+                continue
+            if message[0] == "error":
+                raise RuntimeError(f"simulation worker failed:\n{message[2]}")
+            if message[0] != "result":
+                continue  # a replaced incarnation's stale cross-kind straggler
+            _, worker_index, generation, payload = message
+            slot = self._slots[worker_index]
+            if generation == slot.generation:
+                slot.last_activity = time.monotonic()
             result: TaskResult = pickle.loads(payload)
+            if result.task_id not in pending:
+                continue  # duplicate of a re-dispatched task
+            del pending[result.task_id]
             self.result_bytes += len(payload)
+            self._task_worker[result.task_id] = (worker_index, generation)
             outcomes[result.task_id] = TaskOutcome(
                 task_id=result.task_id,
                 records=[
@@ -760,80 +1027,181 @@ class SimWorkerPool:
             raise RuntimeError("simulation pool is closed")
         if not tasks:
             return []
-        for shard_index, shard in enumerate(
-            self._assign(tasks, lambda task: 1 + task.spec.boost_factor)
-        ):
-            if not shard:
-                continue
-            payload, buffers = dumps_oob(shard)
-            self.sent_bytes += len(payload) + sum(len(buffer) for buffer in buffers)
-            self._task_queues[shard_index].put(("contract", payload, buffers))
         outcomes: Dict[int, ContractOutcome] = {}
+        pending: Dict[int, ContractTask] = {}
+        assignment: Dict[int, Tuple[int, int]] = {}
+        if self._enabled_slots():
+            self._dispatch(
+                "contract",
+                list(tasks),
+                lambda task: 1 + task.spec.boost_factor,
+                pending,
+                assignment,
+            )
+        else:
+            self._count_fault("sim_inline_fallback", len(tasks))
+            for task in tasks:
+                outcomes[task.task_id] = self._run_contract_inline(task)
         while len(outcomes) < len(tasks):
-            message = self._receive(("cresult",))
-            payload, buffers = message[2], message[3]
+            try:
+                message = self._next_message()
+            except queue_module.Empty:
+                self._check_liveness(
+                    "contract",
+                    pending,
+                    assignment,
+                    lambda task: outcomes.__setitem__(
+                        task.task_id, self._run_contract_inline(task)
+                    ),
+                )
+                continue
+            if message[0] == "error":
+                raise RuntimeError(f"simulation worker failed:\n{message[2]}")
+            if message[0] != "cresult":
+                continue
+            _, worker_index, generation, payload, buffers = message
+            slot = self._slots[worker_index]
+            if generation == slot.generation:
+                slot.last_activity = time.monotonic()
+            outcome: ContractOutcome = loads_oob(payload, buffers)
+            if outcome.task_id not in pending:
+                continue
+            del pending[outcome.task_id]
             self.result_bytes += len(payload) + sum(
                 len(buffer) for buffer in buffers
             )
-            outcome: ContractOutcome = loads_oob(payload, buffers)
             outcome.pooled = True
             outcomes[outcome.task_id] = outcome
         return [outcomes[task.task_id] for task in tasks]
 
     def fetch(self, task_id: int, indices: Sequence[int]) -> Dict[int, FullRecord]:
-        """Second pass: full records for selected entries of a past task."""
-        worker_index = self._task_worker[task_id]
-        self._task_queues[worker_index].put(("fetch", task_id, list(indices)))
+        """Second pass: full records for selected entries of a past task.
+
+        Served by the worker incarnation that ran the task when it is still
+        alive; otherwise re-simulated inline from the retained task payload
+        (byte-identical records — the task is a pure function).
+        """
+        if task_id in self._local_records or task_id in self._lost_records:
+            return self._fetch_local(task_id, indices)
+        worker_index, generation = self._task_worker[task_id]
+        slot = self._slots[worker_index]
+        if (
+            slot.disabled
+            or slot.generation != generation
+            or not slot.process.is_alive()
+        ):
+            self._lost_records.add(task_id)
+            return self._fetch_local(task_id, indices)
+        slot.task_queue.put(("fetch", task_id, list(indices)))
+        slot.last_activity = time.monotonic()
         while True:
-            message = self._receive(("full",))
-            if message[2] == task_id:
-                payload = message[3]
-                self.fetch_bytes += len(payload)
-                full: Dict[int, FullRecord] = pickle.loads(payload)
-                self.fetched_entries += len(full)
-                return full
+            try:
+                message = self._next_message()
+            except queue_module.Empty:
+                reason = None
+                if not slot.process.is_alive():
+                    reason = "sim_worker_death"
+                elif (
+                    self.task_timeout_seconds is not None
+                    and time.monotonic() - slot.last_activity
+                    > self.task_timeout_seconds
+                ):
+                    slot.process.kill()
+                    slot.process.join(timeout=5)
+                    self.force_kills += 1
+                    reason = "sim_deadline"
+                if reason is None:
+                    continue
+                if self._drain_into_backlog():
+                    # The reply may be among the salvaged messages; the death
+                    # itself is handled on the next idle tick.
+                    continue
+                self._supervise_slot(slot, reason)
+                self._lost_records.add(task_id)
+                return self._fetch_local(task_id, indices)
+            if message[0] == "error":
+                raise RuntimeError(f"simulation worker failed:\n{message[2]}")
+            if message[0] != "full" or message[3] != task_id:
+                continue  # stale straggler from a replaced incarnation
+            payload = message[4]
+            self.fetch_bytes += len(payload)
+            full: Dict[int, FullRecord] = pickle.loads(payload)
+            self.fetched_entries += len(full)
+            return full
 
     def release(self, task_ids: Sequence[int]) -> None:
-        """Let workers drop the held full records of finished tasks."""
-        by_worker: Dict[int, List[int]] = {}
-        for task_id in task_ids:
-            worker_index = self._task_worker.pop(task_id, None)
-            if worker_index is not None:
-                by_worker.setdefault(worker_index, []).append(task_id)
-        for worker_index, ids in by_worker.items():
-            self._task_queues[worker_index].put(("release", ids))
+        """Drop everything retained for finished tasks (worker- and local-side).
+
+        Broadcast to every live slot: after a respawn-and-replay, more than
+        one incarnation may hold a task's records, and workers drop unknown
+        ids tolerantly.
+        """
+        ids = list(task_ids)
+        if not ids:
+            return
+        for task_id in ids:
+            self._task_worker.pop(task_id, None)
+            self._retained.pop(task_id, None)
+            self._local_records.pop(task_id, None)
+            self._lost_records.discard(task_id)
+        for slot in self._enabled_slots():
+            slot.task_queue.put(("release", ids))
 
     def close(self) -> None:
         if self._closed:
             return
         self._closed = True
-        for task_queue in self._task_queues:
+        for slot in self._slots:
+            if slot.disabled:
+                continue
             try:
-                task_queue.put(("stop",))
+                slot.task_queue.put(("stop",))
             except (ValueError, OSError):  # pragma: no cover - teardown race
                 pass
-        for process in self._processes:
-            process.join(timeout=10)
-        for process in self._processes:
-            if process.is_alive():  # pragma: no cover - last resort
-                process.terminate()
-                process.join(timeout=5)
-        for task_queue in self._task_queues + [self._results]:
-            task_queue.close()
-            task_queue.join_thread()
+        for slot in self._slots:
+            slot.process.join(timeout=10)
+        for slot in self._slots:
+            if slot.process.is_alive():  # pragma: no cover - last resort
+                slot.process.terminate()
+                slot.process.join(timeout=5)
+                self.force_kills += 1
+        for handle in [slot.task_queue for slot in self._slots] + [self._results]:
+            handle.close()
+            handle.join_thread()
 
 
 _POOL: Optional[SimWorkerPool] = None
 
 
-def get_pool(workers: int) -> SimWorkerPool:
-    """The process-wide persistent pool (recreated when the size changes)."""
+def get_pool(
+    workers: int,
+    max_retries: int = 2,
+    retry_backoff_seconds: float = 0.05,
+    task_timeout_seconds: Optional[float] = None,
+) -> SimWorkerPool:
+    """The process-wide persistent pool.
+
+    Recreated when the size changes, after a close, or when a previous
+    campaign exhausted a slot's retry budget (a new campaign deserves a
+    healthy pool); supervision knobs just update in place.
+    """
     global _POOL
-    if _POOL is not None and (_POOL.workers != workers or _POOL._closed):
+    if _POOL is not None and (
+        _POOL.workers != workers or _POOL._closed or _POOL.degraded
+    ):
         _POOL.close()
         _POOL = None
     if _POOL is None:
-        _POOL = SimWorkerPool(workers)
+        _POOL = SimWorkerPool(
+            workers,
+            max_retries=max_retries,
+            retry_backoff_seconds=retry_backoff_seconds,
+            task_timeout_seconds=task_timeout_seconds,
+        )
+    else:
+        _POOL.max_retries = max_retries
+        _POOL.retry_backoff_seconds = retry_backoff_seconds
+        _POOL.task_timeout_seconds = task_timeout_seconds
     return _POOL
 
 
@@ -871,10 +1239,19 @@ class SimulationRouter:
     router silently downgrades to the inline fallback — same results.
     """
 
-    def __init__(self, sim_workers: Optional[int]) -> None:
+    def __init__(
+        self,
+        sim_workers: Optional[int],
+        max_retries: int = 2,
+        retry_backoff_seconds: float = 0.05,
+        task_timeout_seconds: Optional[float] = None,
+    ) -> None:
         if sim_workers is not None and sim_workers < 0:
             raise ValueError("sim_workers must be >= 0 (or None to disable)")
         self.requested = sim_workers
+        self.max_retries = max_retries
+        self.retry_backoff_seconds = retry_backoff_seconds
+        self.task_timeout_seconds = task_timeout_seconds
         self.fallback_reason: Optional[str] = None
         if sim_workers:
             if multiprocessing.current_process().daemon:
@@ -883,6 +1260,22 @@ class SimulationRouter:
                 self.fallback_reason = f"{FORCE_INLINE_ENV} set"
         self._inline_executors: Dict[ExecutorSpec, SimulatorExecutor] = {}
         self._inline_contract_runner: Optional[ContractRunner] = None
+        #: The pool this router dispatches through, pinned at first use.  A
+        #: router must keep using one pool object for its whole life: the
+        #: pool retains task payloads and locally re-simulated records that
+        #: the round's second-pass fetch depends on, so swapping pools
+        #: mid-round (e.g. ``get_pool`` replacing a degraded pool) would
+        #: lose them.
+        self._pool_instance: Optional[SimWorkerPool] = None
+        # The pool's supervision counters are process-wide and cumulative;
+        # baseline them when the pool is acquired so this fuzzer's report
+        # only carries faults that happened on its own watch.  ``_carry``
+        # accumulates deltas from pools this router used that were since
+        # closed and replaced.
+        self._fault_baseline: Dict[str, int] = {}
+        self._force_kill_baseline = 0
+        self._fault_carry: Dict[str, int] = {}
+        self._force_kill_carry = 0
         #: Per-task worker wall-clock seconds, in dispatch order (benchmarks
         #: derive multi-core makespan projections from these).
         self.task_seconds: List[float] = []
@@ -907,8 +1300,36 @@ class SimulationRouter:
     def pooled(self) -> bool:
         return bool(self.requested) and self.fallback_reason is None
 
+    def _pool_fault_deltas(self, pool: SimWorkerPool) -> Tuple[Dict[str, int], int]:
+        """This router's share of ``pool``'s cumulative supervision counters."""
+        deltas = {
+            reason: count - self._fault_baseline.get(reason, 0)
+            for reason, count in pool.fault_counters.items()
+            if count - self._fault_baseline.get(reason, 0) > 0
+        }
+        return deltas, max(0, pool.force_kills - self._force_kill_baseline)
+
     def _pool(self) -> SimWorkerPool:
-        return get_pool(self.requested)
+        pool = self._pool_instance
+        if pool is not None and not pool._closed:
+            return pool
+        if pool is not None:
+            # The previous pool was closed under us (e.g. replaced after
+            # degradation); keep its fault deltas before re-baselining.
+            deltas, force_kills = self._pool_fault_deltas(pool)
+            for reason, count in deltas.items():
+                self._fault_carry[reason] = self._fault_carry.get(reason, 0) + count
+            self._force_kill_carry += force_kills
+        pool = get_pool(
+            self.requested,
+            max_retries=self.max_retries,
+            retry_backoff_seconds=self.retry_backoff_seconds,
+            task_timeout_seconds=self.task_timeout_seconds,
+        )
+        self._pool_instance = pool
+        self._fault_baseline = dict(pool.fault_counters)
+        self._force_kill_baseline = pool.force_kills
+        return pool
 
     def map(self, tasks: Sequence[SimulationTask]) -> List[TaskOutcome]:
         started = time.perf_counter()
@@ -1000,7 +1421,7 @@ class SimulationRouter:
         if self.fallback_reason:
             payload["fallback_reason"] = self.fallback_reason
         if self.pooled:
-            pool = _POOL
+            pool = self._pool_instance if self._pool_instance is not None else _POOL
             if pool is not None:
                 payload.update(
                     sent_bytes=pool.sent_bytes,
@@ -1008,6 +1429,19 @@ class SimulationRouter:
                     fetch_bytes=pool.fetch_bytes,
                     fetched_entries=pool.fetched_entries,
                 )
+                deltas, force_kills = (
+                    self._pool_fault_deltas(pool)
+                    if pool is self._pool_instance
+                    else ({}, 0)
+                )
+                faults = dict(self._fault_carry)
+                for reason, count in deltas.items():
+                    faults[reason] = faults.get(reason, 0) + count
+                if faults:
+                    payload["faults"] = faults
+                force_kills += self._force_kill_carry
+                if force_kills > 0:
+                    payload["force_kills"] = force_kills
         return payload
 
 

@@ -8,18 +8,22 @@ Examples::
     amulet-repro --instances 4 --workers 4 --json
     amulet-repro --defense baseline --stop-on-violation --triage --json
     amulet-repro --defense invisispec --patched --triage --amplify --triage-workers 4
+    amulet-repro --defense baseline --programs 200 --checkpoint run.ckpt --resume
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import threading
 from typing import Optional, Sequence
 
 from repro.backends import available_backends
 from repro.core.campaign import Campaign
 from repro.core.config import FuzzerConfig
+from repro.core.io import atomic_write_json
 from repro.core.filtering import unique_violations
 from repro.core.scheduler import FilterLevel
 from repro.defenses.registry import available_defenses, describe_defenses
@@ -116,6 +120,62 @@ def build_parser() -> argparse.ArgumentParser:
         "default: unsharded seed execution path); results are identical "
         "at any setting",
     )
+    fault_group = parser.add_argument_group(
+        "fault tolerance",
+        "checkpoint/resume a campaign and tune worker supervision "
+        "(see README, 'Fault tolerance and resume')",
+    )
+    fault_group.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="write a resumable campaign checkpoint to PATH (atomically, "
+        "every --checkpoint-every rounds and at exit); a killed campaign "
+        "restarted with --resume continues exactly where it stopped",
+    )
+    fault_group.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore the campaign position from --checkpoint before running "
+        "(no-op when the checkpoint file does not exist yet)",
+    )
+    fault_group.add_argument(
+        "--resume-fresh",
+        action="store_true",
+        help="like --resume, but a corrupt or mismatched checkpoint is "
+        "discarded with a warning instead of aborting the run",
+    )
+    fault_group.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=10,
+        metavar="ROUNDS",
+        help="rounds between checkpoint writes (default: %(default)s)",
+    )
+    fault_group.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="times a lost worker is respawned (with backoff) before its "
+        "remaining rounds are recorded as lost and the campaign degrades "
+        "(default: %(default)s)",
+    )
+    fault_group.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task wall-clock deadline: a worker silent for this long is "
+        "force-killed and supervised like a crash (default: no deadline)",
+    )
+    fault_group.add_argument(
+        "--json-out",
+        metavar="PATH",
+        default=None,
+        help="additionally write the JSON campaign summary to PATH "
+        "(atomically; on interruption it holds the partial results)",
+    )
     parser.add_argument(
         "--triage",
         action="store_true",
@@ -211,6 +271,37 @@ def print_contracts() -> None:
         )
 
 
+#: Exit status of a gracefully interrupted campaign (SIGINT/SIGTERM): distinct
+#: from 0 (no violation) and 1 (violation detected) so schedulers and the CI
+#: kill-and-resume job can tell "stopped cleanly mid-flight" apart.
+INTERRUPT_EXIT_CODE = 3
+
+
+def install_interrupt_handlers(stop_event: threading.Event):
+    """Route SIGINT/SIGTERM into ``stop_event``; returns the prior handlers.
+
+    The first signal requests a graceful stop: in-flight rounds drain, the
+    final checkpoint and (partial) summary are written, and ``main`` exits
+    with :data:`INTERRUPT_EXIT_CODE`.
+    """
+
+    def handler(signum, frame):
+        if not stop_event.is_set():
+            sys.stderr.write(
+                "\ninterrupt received: draining in-flight rounds and writing "
+                "the final checkpoint...\n"
+            )
+        stop_event.set()
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, handler)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+    return previous
+
+
 def select_backend(args: argparse.Namespace) -> str:
     """Backend name implied by the flag combination."""
     if args.backend is not None:
@@ -248,6 +339,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--instances must be at least 1")
     if args.triage_workers is not None and args.triage_workers < 1:
         parser.error("--triage-workers must be at least 1")
+    if (args.resume or args.resume_fresh) and not args.checkpoint:
+        parser.error("--resume/--resume-fresh require --checkpoint")
+    if args.checkpoint_every < 1:
+        parser.error("--checkpoint-every must be at least 1")
+    if args.max_retries < 0:
+        parser.error("--max-retries must be at least 0")
+    if args.task_timeout is not None and args.task_timeout <= 0:
+        parser.error("--task-timeout must be positive")
     triage_requested = args.triage or args.amplify or args.triage_workers is not None
     uarch_config = UarchConfig().with_amplification(
         l1d_ways=args.l1d_ways, mshrs=args.mshrs
@@ -272,11 +371,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         workers=args.workers,
         chunk_size=args.chunk_size,
         sim_workers=args.sim_workers,
+        max_retries=args.max_retries,
+        task_timeout_seconds=args.task_timeout,
     )
     campaign = Campaign(config, instances=args.instances)
-    result = campaign.run()
+    stop_event = threading.Event()
+    previous_handlers = install_interrupt_handlers(stop_event)
+    try:
+        result = campaign.run(
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+            resume_fresh=args.resume_fresh,
+            checkpoint_every=args.checkpoint_every,
+            stop_event=stop_event,
+        )
+    except ValueError as error:
+        sys.stderr.write(f"error: {error}\n")
+        if args.checkpoint and not args.resume_fresh:
+            sys.stderr.write(
+                "hint: pass --resume-fresh to discard the unusable checkpoint "
+                "and start over\n"
+            )
+        return 2
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
 
-    if triage_requested and result.violations:
+    if triage_requested and result.violations and not result.interrupted:
         pipeline = TriagePipeline(
             config=TriageConfig(amplify=args.amplify),
             workers=args.triage_workers,
@@ -286,9 +407,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             # Re-save so triage-minimized witnesses also enter the corpus.
             result.save_corpus(args.corpus)
 
+    exit_code = 1 if result.detected else 0
+    if result.interrupted:
+        exit_code = INTERRUPT_EXIT_CODE
+    if args.json_out:
+        atomic_write_json(args.json_out, result.to_json_dict())
     if args.json:
         print(json.dumps(result.to_json_dict(), indent=2))
-        return 0 if not result.detected else 1
+        return exit_code
 
     row = result.as_table_row()
     print("campaign summary")
@@ -299,6 +425,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(
             f"  stopped early: {result.rounds_completed}/{result.scheduled_programs} "
             "scheduled programs executed"
+        )
+    if result.interrupted:
+        checkpoint_note = (
+            f"; resume with --checkpoint {args.checkpoint} --resume"
+            if args.checkpoint
+            else ""
+        )
+        print(
+            f"  interrupted: {result.rounds_completed}/{result.scheduled_programs} "
+            f"scheduled programs executed{checkpoint_note}"
+        )
+    if result.resumed_from:
+        print(f"  resumed from: {result.resumed_from}")
+    faults = result.fault_summary()
+    if faults["counters"] or faults["force_kills"]:
+        print(
+            f"  faults: {faults['counters'] or {}} "
+            f"force_kills={faults['force_kills']} "
+            f"lost_rounds={sum(len(rounds) for rounds in faults['lost_rounds'].values())}"
         )
     if args.strategy != "random" or args.corpus or args.corpus_litmus:
         feedback = result.feedback_summary()
@@ -320,7 +465,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print()
         for line in result.triage.summary_lines():
             print(line)
-    return 0 if not result.detected else 1
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

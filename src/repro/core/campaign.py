@@ -58,6 +58,15 @@ class CampaignResult:
     streamed_test_cases_executed: int = 0
     #: Violations observed through streaming.
     streamed_violations: int = 0
+    #: The campaign was stopped gracefully (SIGINT/SIGTERM drain) before its
+    #: budget; the reports cover exactly the rounds that completed.
+    interrupted: bool = False
+    #: Path of the checkpoint this campaign resumed from (None: fresh run).
+    resumed_from: Optional[str] = None
+    #: Worker processes the backend had to force-kill (teardown terminate
+    #: after an unanswered join, or a supervision deadline).  Zero on a
+    #: healthy run — tests assert that.
+    force_kills: int = 0
     #: Attached by :class:`~repro.triage.TriagePipeline` when the campaign's
     #: violations have been re-validated, minimized and clustered.
     triage: Optional["TriageReport"] = None
@@ -131,6 +140,29 @@ class CampaignResult:
             for reason, count in report.skip_counters.items():
                 counters[reason] = counters.get(reason, 0) + count
         return counters
+
+    def fault_summary(self) -> Dict[str, object]:
+        """Supervision fault accounting across instances (the ``faults`` block).
+
+        Sums each report's per-reason fault counters and collects the
+        program indices of rounds abandoned after the retry budget, keyed by
+        instance.  ``force_kills`` mirrors the backend's teardown counter.
+        All zero / empty on a healthy run.
+        """
+        counters: Dict[str, int] = {}
+        lost_rounds: Dict[str, List[int]] = {}
+        for index, report in enumerate(self.reports):
+            faults = getattr(report, "faults", None) or {}
+            for reason, count in faults.get("counters", {}).items():
+                counters[reason] = counters.get(reason, 0) + count
+            lost = faults.get("lost_rounds", [])
+            if lost:
+                lost_rounds[str(index)] = sorted(lost)
+        return {
+            "counters": counters,
+            "lost_rounds": lost_rounds,
+            "force_kills": self.force_kills,
+        }
 
     def violation_count(self) -> int:
         return len(self.violations)
@@ -401,6 +433,9 @@ class CampaignResult:
             "scheduled_programs": self.scheduled_programs,
             "rounds_completed": self.rounds_completed,
             "stopped_early": self.stopped_early,
+            "interrupted": self.interrupted,
+            "resumed_from": self.resumed_from,
+            "faults": self.fault_summary(),
             "test_cases": self.total_test_cases,
             "test_cases_generated": self.total_test_cases_generated,
             "skip_counters": self.skip_counters(),
@@ -506,6 +541,11 @@ class Campaign:
         parallel: bool = False,
         backend: Optional[Union[str, ExecutionBackend]] = None,
         on_round: Optional[ProgressCallback] = None,
+        checkpoint_path: Optional[str] = None,
+        resume: bool = False,
+        resume_fresh: bool = False,
+        checkpoint_every: int = 10,
+        stop_event=None,
     ) -> CampaignResult:
         """Execute the campaign and aggregate results as rounds stream in.
 
@@ -514,9 +554,36 @@ class Campaign:
         spelling of ``backend="process"``.  ``on_round`` is invoked with
         ``(instance_index, RoundResult)`` for every completed round, in
         completion order.
+
+        With ``checkpoint_path``, a resumable campaign checkpoint is written
+        atomically every ``checkpoint_every`` completed rounds and at the
+        end (see :mod:`repro.core.checkpoint`); ``resume=True`` restores a
+        previous run's position from it first, and ``resume_fresh=True``
+        downgrades an unusable checkpoint (corrupt file, different campaign)
+        to a warning plus a fresh start.  ``stop_event`` (a
+        ``threading.Event``) requests a graceful stop: in-flight rounds
+        drain, the final checkpoint is written, and the partial result comes
+        back with ``interrupted=True``.
         """
+        from repro.core.checkpoint import CheckpointManager
+
         executor = self.resolve_backend(backend, parallel=parallel)
+        manager: Optional[CheckpointManager] = None
+        initial_states: Optional[List[Optional[dict]]] = None
+        if checkpoint_path:
+            manager = CheckpointManager(
+                checkpoint_path,
+                self.config,
+                self.instances,
+                interval=checkpoint_every,
+            )
+            if resume or resume_fresh:
+                initial_states = manager.load(resume_fresh=resume_fresh)
+
         plan = self.plan()
+        if initial_states is not None:
+            plan = dataclasses.replace(plan, initial_states=tuple(initial_states))
+
         result = CampaignResult(
             defense=self.config.defense,
             contract=self.contract_name,
@@ -524,18 +591,45 @@ class Campaign:
             backend=executor.name,
             scheduled_programs=plan.scheduled_programs,
         )
+        if initial_states is not None and any(
+            state is not None for state in initial_states
+        ):
+            result.resumed_from = checkpoint_path
+            # Pre-seed the streamed totals with the pre-interruption rounds:
+            # the resumed backend only streams the remainder.
+            for report in manager.initial_reports().values():
+                result.rounds_completed += report.programs_tested
+                result.streamed_test_cases += report.test_cases_generated
+                result.streamed_test_cases_executed += report.test_cases_executed
+                result.streamed_violations += len(report.violations)
 
         def handle_round(instance_index: int, round_result: RoundResult) -> None:
             result.record_round(instance_index, round_result)
             if on_round is not None:
                 on_round(instance_index, round_result)
 
+        on_state = manager.record_state if manager is not None else None
         started = time.perf_counter()
-        result.reports = list(executor.run(plan, on_round=handle_round))
+        result.reports = list(
+            executor.run(
+                plan,
+                on_round=handle_round,
+                on_state=on_state,
+                stop_event=stop_event,
+                state_interval=checkpoint_every,
+            )
+        )
         result.wall_clock_seconds = time.perf_counter() - started
+        result.interrupted = bool(stop_event is not None and stop_event.is_set())
+        result.force_kills = getattr(executor, "force_kills", 0)
+        if manager is not None:
+            manager.save_final(interrupted=result.interrupted)
         if self.config.corpus_path:
             # Persist the merged corpus so the next campaign compounds on
             # this one's discoveries (callers that triage afterwards re-save
             # to also capture minimized witnesses).
             result.save_corpus(self.config.corpus_path)
+            from repro.backends.faults import fault_plan
+
+            fault_plan().maybe_corrupt("corpus", self.config.corpus_path)
         return result

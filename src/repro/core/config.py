@@ -107,6 +107,16 @@ class FuzzerConfig:
     #: many persistent worker processes with compact trace transport.
     #: Results are byte-identical across every sharded setting.
     sim_workers: Optional[int] = None
+    #: Worker supervision (pooled backends): how many times a dead or hung
+    #: worker is respawned and its lost work re-dispatched before the
+    #: affected rounds are abandoned and recorded in ``FuzzerReport.faults``.
+    max_retries: int = 2
+    #: Pause before each respawn, doubled per consecutive retry.
+    retry_backoff_seconds: float = 0.05
+    #: Per-task wall-clock deadline for pooled workers (None: no deadline).
+    #: A worker that produces no result for this long is force-killed and
+    #: treated like a dead worker (retry, then degrade).
+    task_timeout_seconds: Optional[float] = None
 
     @property
     def base_inputs_per_program(self) -> int:

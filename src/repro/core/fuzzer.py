@@ -13,7 +13,9 @@ deduplication signature.
 
 from __future__ import annotations
 
+import base64
 import itertools
+import pickle
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
@@ -127,6 +129,20 @@ class FuzzerReport:
     #: ``fallbacks``); all zero when the instance ran with
     #: ``specialize=False``.
     specialization: Dict[str, float] = field(default_factory=dict)
+    #: Fault accounting for supervised execution: per-reason counters
+    #: ("worker_death", "deadline", "force_kill", ...) plus the program
+    #: indices of rounds that were abandoned after ``max_retries``
+    #: (``lost_rounds``).  Empty for a fault-free run.
+    faults: Dict[str, object] = field(default_factory=dict)
+
+    def record_fault(self, reason: str, lost_round: Optional[int] = None) -> None:
+        """Count one supervised-execution fault (and optionally a lost round)."""
+        counters = self.faults.setdefault("counters", {})
+        counters[reason] = counters.get(reason, 0) + 1
+        if lost_round is not None:
+            lost = self.faults.setdefault("lost_rounds", [])
+            if lost_round not in lost:
+                lost.append(lost_round)
 
     @property
     def detected(self) -> bool:
@@ -215,7 +231,12 @@ class AmuletFuzzer:
         # backends package imports this module.
         from repro.backends.simshard import ContractSpec, ExecutorSpec, SimulationRouter
 
-        self.sim_router = SimulationRouter(config.sim_workers)
+        self.sim_router = SimulationRouter(
+            config.sim_workers,
+            max_retries=config.max_retries,
+            retry_backoff_seconds=config.retry_backoff_seconds,
+            task_timeout_seconds=config.task_timeout_seconds,
+        )
         self._executor_spec = ExecutorSpec.from_fuzzer_config(
             config, sandbox_pages=self.sandbox.pages
         )
@@ -383,6 +404,115 @@ class AmuletFuzzer:
             pass
         self._refresh_report_times()
         return self.report
+
+    # -- checkpointing ------------------------------------------------------------------
+    #: Schema tag for :meth:`state_dict` payloads.
+    STATE_FORMAT = "amulet-instance-state-v1"
+
+    def state_dict(self) -> Dict[str, object]:
+        """Snapshot everything needed to resume this instance exactly.
+
+        All generation randomness is counter-addressed (program and input
+        generators are pure functions of ``(seed, counter)``; the strategy's
+        per-round RNG is a pure function of ``(seed, round)``), and the
+        executor builds a fresh core per program — so the live state reduces
+        to integer counters, the feedback state (coverage map + corpus), the
+        accumulated report, and the executor's time ledger.  The snapshot is
+        JSON-serializable; a fuzzer built from the same config and fed it
+        through :meth:`restore_state` continues the round stream
+        byte-identically.
+
+        Corpus energies are stored exactly (not display-rounded as in
+        :meth:`CorpusEntry.to_json_dict`) and in insertion order: selection
+        weights and iteration order are part of the deterministic stream.
+        """
+        self._refresh_report_times()
+        corpus_entries = []
+        for entry in self.corpus.entries():
+            payload = entry.to_json_dict()
+            payload["energy"] = entry.energy
+            corpus_entries.append(payload)
+        return {
+            "format": self.STATE_FORMAT,
+            "programs_tested": self.report.programs_tested,
+            "program_counter": self.program_generator._counter,
+            "input_counter": self.input_generator._counter,
+            "source": {
+                "round": self.program_source._round,
+                "generated_random": self.program_source.generated_random,
+                "generated_mutated": self.program_source.generated_mutated,
+            },
+            "coverage": self.coverage.to_json_dict(),
+            "corpus_entries": corpus_entries,
+            "report_pickle": base64.b64encode(
+                pickle.dumps(self.report, protocol=pickle.HIGHEST_PROTOCOL)
+            ).decode("ascii"),
+            "time": {
+                "modeled_seconds": dict(self.executor.time.modeled_seconds),
+                "wall_clock_seconds": dict(self.executor.time.wall_clock_seconds),
+            },
+            "simulator_starts": self.executor.simulator_starts,
+            "test_cases_executed": self.executor.test_cases_executed,
+            "stopped": self._stopped,
+            "target_programs": self._target_programs,
+            "next_task_id": self._next_task_id,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Resume from a :meth:`state_dict` snapshot (same config required)."""
+        found = state.get("format")
+        if found != self.STATE_FORMAT:
+            raise ValueError(
+                f"instance state format mismatch "
+                f"(found {found!r}, expected {self.STATE_FORMAT!r})"
+            )
+        self.program_generator._counter = state["program_counter"]
+        self.input_generator._counter = state["input_counter"]
+        source = state["source"]
+        self.program_source._round = source["round"]
+        self.program_source.generated_random = source["generated_random"]
+        self.program_source.generated_mutated = source["generated_mutated"]
+
+        restored_coverage = CoverageTracker.from_json_dict(state["coverage"])
+        self.coverage.size_bits = restored_coverage.size_bits
+        self.coverage.bitmap = restored_coverage.bitmap
+        self.coverage.features_observed = restored_coverage.features_observed
+        self.coverage.new_features = restored_coverage.new_features
+        self.coverage.rounds_observed = restored_coverage.rounds_observed
+        self.coverage.rounds_with_new_coverage = (
+            restored_coverage.rounds_with_new_coverage
+        )
+
+        # Rebuild the corpus in place: the fuzzer, the program source and the
+        # report all alias this one object, and insertion order is part of
+        # the deterministic selection stream.
+        self.corpus._entries.clear()
+        for payload in state["corpus_entries"]:
+            self.corpus.merge_entry(CorpusEntry.from_json_dict(payload))
+
+        self.report = pickle.loads(base64.b64decode(state["report_pickle"]))
+        saved_time = state["time"]
+        self.executor.time.modeled_seconds = dict(saved_time["modeled_seconds"])
+        self.executor.time.wall_clock_seconds = dict(saved_time["wall_clock_seconds"])
+        self.executor.simulator_starts = state["simulator_starts"]
+        self.executor.test_cases_executed = state["test_cases_executed"]
+        self._stopped = state["stopped"]
+        self._target_programs = state.get("target_programs")
+        self._next_task_id = max(self._next_task_id, state.get("next_task_id", 0))
+        # Continue the wall clock where the snapshot left it, and re-baseline
+        # the process-wide specialization counters so the report keeps
+        # accumulating this instance's own deltas.
+        self._start_time = time.perf_counter() - self.report.wall_clock_seconds
+        current = stats_snapshot()
+        saved = self.report.specialization or {}
+        self._spec_stats_start = {
+            "hits": current["hits"] - saved.get("cache_hits", 0),
+            "misses": current["misses"] - saved.get("cache_misses", 0),
+            "compile_seconds": current["compile_seconds"]
+            - saved.get("compile_seconds", 0.0),
+            "fallbacks": current["fallbacks"] - saved.get("fallbacks", 0),
+        }
+        self._refresh_report_feedback()
 
     # -- internals ----------------------------------------------------------------------
     def _charge_phase(self, phase: str, seconds: float) -> None:
@@ -622,6 +752,19 @@ class AmuletFuzzer:
         self.report.wall_clock_breakdown = dict(self.executor.time.wall_clock_seconds)
         if self.sim_router.active:
             self.report.parallel_sim = self.sim_router.stats()
+            # Mirror simulation-pool faults into the report's fault block.
+            # The stats are cumulative for this router, so assign (not add):
+            # this refresh runs many times per campaign and must stay
+            # idempotent.
+            sim_faults = self.report.parallel_sim.get("faults")
+            if sim_faults:
+                counters = self.report.faults.setdefault("counters", {})
+                for reason, count in sim_faults.items():
+                    counters[reason] = count
+            sim_force_kills = self.report.parallel_sim.get("force_kills")
+            if sim_force_kills:
+                counters = self.report.faults.setdefault("counters", {})
+                counters["sim_force_kills"] = sim_force_kills
         current = stats_snapshot()
         start = self._spec_stats_start
         self.report.specialization = {

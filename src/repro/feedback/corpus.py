@@ -300,30 +300,15 @@ class Corpus:
         mid-write must never leave a truncated JSON file behind in place of
         the accumulated discoveries.
         """
-        path = os.path.abspath(path)
-        directory = os.path.dirname(path)
-        os.makedirs(directory, exist_ok=True)
-        staging = f"{path}.tmp.{os.getpid()}"
-        try:
-            with open(staging, "w") as handle:
-                json.dump(self.to_json_dict(), handle, indent=2)
-                handle.write("\n")
-            os.replace(staging, path)
-        finally:
-            if os.path.exists(staging):
-                os.remove(staging)
+        from repro.core.io import atomic_write_json
+
+        atomic_write_json(path, self.to_json_dict())
 
     @staticmethod
     def load(path: str) -> "Corpus":
-        with open(path) as handle:
-            try:
-                payload = json.load(handle)
-            except json.JSONDecodeError as error:
-                raise ValueError(f"{path}: corrupt corpus file ({error})") from error
-        if payload.get("format") != CORPUS_FORMAT:
-            raise ValueError(
-                f"{path}: not a corpus file (format={payload.get('format')!r})"
-            )
+        from repro.core.io import load_json
+
+        payload = load_json(path, kind="corpus", expected_format=CORPUS_FORMAT)
         return Corpus(
             [CorpusEntry.from_json_dict(entry) for entry in payload["entries"]]
         )

@@ -189,8 +189,14 @@ class TestEarlyStopCancellation:
         assert len(result.reports) == 4
 
     def test_parallel_early_stop_leaves_no_orphaned_workers(self):
-        Campaign(self.CONFIG, instances=4, backend=ProcessPoolBackend(workers=2)).run()
+        backend = ProcessPoolBackend(workers=2)
+        result = Campaign(self.CONFIG, instances=4, backend=backend).run()
         assert multiprocessing.active_children() == []
+        # A healthy early stop answers the shutdown handshake: nothing was
+        # force-killed, and the campaign summary says so.
+        assert backend.force_kills == 0
+        assert result.force_kills == 0
+        assert result.fault_summary()["counters"] == {}
 
     def test_inline_early_stop_skips_remaining_instances(self):
         result = Campaign(self.CONFIG, instances=3, backend=InlineBackend()).run()

@@ -462,8 +462,14 @@ class TestWorkerHygiene:
             "baseline", 2, programs=4, stop_on_violation=True
         )
         assert result.violation_count() >= 1
+        pool = simshard._POOL
         simshard.shutdown_pool()
         assert not self._sim_children()
+        # A healthy cancellation answers the stop message: no sim worker was
+        # force-killed and no supervision fault was recorded.
+        assert pool is not None
+        assert pool.force_kills == 0
+        assert pool.fault_counters == {}
 
     def test_nested_in_process_backend_falls_back_inline(self):
         # ProcessPoolBackend campaign workers are daemonic and cannot spawn
